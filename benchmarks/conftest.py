@@ -1,0 +1,25 @@
+"""Shared configuration for the pytest-benchmark harnesses.
+
+The benchmark harnesses use the ``quick`` profile (small verifier bounds,
+short timeouts) so a full ``pytest benchmarks/ --benchmark-only`` run stays in
+the range of minutes.  To reproduce the paper's setup instead, run the module
+harnesses directly, e.g. ``python -m repro.experiments.figure7 --all
+--profile paper``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.core.config import FAST_VERIFIER_BOUNDS, HanoiConfig
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> HanoiConfig:
+    """The configuration every benchmark harness runs under."""
+    return HanoiConfig(verifier_bounds=FAST_VERIFIER_BOUNDS, timeout_seconds=120)

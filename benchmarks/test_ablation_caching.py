@@ -1,0 +1,42 @@
+"""Benchmark harness for Experiment E4: optimization ablations (Section 5.5).
+
+Times the full Hanoi configuration against the Hanoi-SRC (no synthesis result
+caching) and Hanoi-CLC (no counterexample list caching) ablations over a
+small subset, mirroring the ablation rows of Figure 8.
+"""
+
+import pytest
+
+from repro.core.hanoi import HanoiInference
+from repro.suite.registry import get_benchmark
+
+SUBSET = [
+    "/coq/unique-list-::-set",
+    "/coq/sorted-list-::-set",
+    "/other/stutter-list",
+]
+
+CONFIGS = {
+    "hanoi": lambda config: config,
+    "hanoi-src": lambda config: config.without_synthesis_result_caching(),
+    "hanoi-clc": lambda config: config.without_counterexample_list_caching(),
+}
+
+
+@pytest.mark.parametrize("mode", sorted(CONFIGS))
+def test_ablation(benchmark, quick_config, mode):
+    config = CONFIGS[mode](quick_config)
+    definitions = [get_benchmark(name) for name in SUBSET]
+
+    def run():
+        return [HanoiInference(definition, config=config, mode_name=mode).infer()
+                for definition in definitions]
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert all(result.succeeded for result in results)
+    benchmark.extra_info.update({
+        "mode": mode,
+        "synthesis_calls": sum(r.stats.synthesis_calls for r in results),
+        "verification_calls": sum(r.stats.verification_calls for r in results),
+        "cache_hits": sum(r.stats.synthesis_cache_hits for r in results),
+    })

@@ -1,0 +1,44 @@
+"""Benchmark harness for Experiment E3 (Figures 5-6): counterexample list caching.
+
+Times the motivating benchmark with and without counterexample list caching
+and checks the optimization's effect: with the cache, the run needs no more
+verification calls (and at least as few CEGIS iterations) than without it.
+"""
+
+import pytest
+
+from repro.core.hanoi import HanoiInference
+from repro.suite.registry import get_benchmark
+
+BENCHMARK = "/coq/unique-list-::-set"
+
+
+@pytest.mark.parametrize("caching", [True, False], ids=["with-clc", "without-clc"])
+def test_figure5_trace(benchmark, quick_config, caching):
+    config = quick_config if caching else quick_config.without_counterexample_list_caching()
+    definition = get_benchmark(BENCHMARK)
+
+    def run():
+        return HanoiInference(definition, config=config).infer()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result.succeeded
+    benchmark.extra_info.update({
+        "counterexample_list_caching": caching,
+        "iterations": result.iterations,
+        "verification_calls": result.stats.verification_calls,
+        "synthesis_calls": result.stats.synthesis_calls,
+        "trace_replays": result.stats.trace_replays,
+    })
+
+
+def test_caching_reduces_work(quick_config):
+    definition = get_benchmark(BENCHMARK)
+    with_cache = HanoiInference(definition, config=quick_config).infer()
+    without_cache = HanoiInference(
+        get_benchmark(BENCHMARK),
+        config=quick_config.without_counterexample_list_caching(),
+    ).infer()
+    assert with_cache.succeeded and without_cache.succeeded
+    assert with_cache.stats.verification_calls <= without_cache.stats.verification_calls
+    assert with_cache.iterations <= without_cache.iterations

@@ -1,0 +1,35 @@
+"""Benchmark harness for Experiment E1 (Figure 7 / Figure 9).
+
+One pytest-benchmark entry per fast-subset benchmark, timing a full Hanoi
+inference run and asserting it succeeds.  The Figure-7 statistics columns
+(TVT, TVC, MVT, TST, TSC, MST) are attached to the benchmark's ``extra_info``
+so the JSON output of ``pytest --benchmark-json`` contains the full table.
+
+Regenerate the complete 28-row table (including the slow and timing-out
+benchmarks) with ``python -m repro.experiments.figure7 --all``.
+"""
+
+import pytest
+
+from repro.core.hanoi import HanoiInference
+from repro.suite.registry import FAST_BENCHMARKS, PAPER_RESULTS, get_benchmark
+
+
+@pytest.mark.parametrize("name", FAST_BENCHMARKS)
+def test_figure7_row(benchmark, quick_config, name):
+    definition = get_benchmark(name)
+
+    def run():
+        return HanoiInference(definition, config=quick_config).infer()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+
+    assert result.succeeded, f"{name} failed: {result.status} ({result.message})"
+    benchmark.extra_info.update({
+        "benchmark": name,
+        "paper_invariant_size": PAPER_RESULTS.get(name),
+        "status": result.status,
+        "invariant_size": result.invariant_size,
+        **{key: value for key, value in result.stats.as_dict().items()
+           if key in ("tvt", "tvc", "mvt", "tst", "tsc", "mst")},
+    })

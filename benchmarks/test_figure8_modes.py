@@ -1,0 +1,53 @@
+"""Benchmark harness for Experiment E2 (Figure 8): mode comparison.
+
+Times each of the six Figure-8 modes on a small, representative benchmark
+subset and records how many benchmarks each mode solves.  The qualitative
+ordering of the paper should hold: Hanoi (and its ablations) solve everything
+in this subset, ∧Str and LA are slower, and OneShot solves at most the
+unique-list benchmark.
+"""
+
+import pytest
+
+from repro.experiments.runner import FIGURE8_MODES, MODES
+from repro.suite.registry import get_benchmark
+
+SUBSET = [
+    "/coq/unique-list-::-set",
+    "/coq/maxfirst-list-::-heap",
+    "/other/sized-list",
+]
+
+
+@pytest.mark.parametrize("mode", FIGURE8_MODES)
+def test_figure8_mode(benchmark, quick_config, mode):
+    definitions = [get_benchmark(name) for name in SUBSET]
+
+    def run():
+        return [MODES[mode](definition, quick_config) for definition in definitions]
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    solved = sum(1 for r in results if r.succeeded)
+
+    benchmark.extra_info.update({
+        "mode": mode,
+        "solved": solved,
+        "total": len(results),
+        "times": [round(r.stats.total_time, 3) for r in results],
+    })
+
+    if mode.startswith("hanoi"):
+        assert solved == len(SUBSET), f"{mode} should solve the whole subset, solved {solved}"
+    else:
+        # The baselines are expected to solve at most as many benchmarks as Hanoi.
+        assert solved <= len(SUBSET)
+
+
+def test_hanoi_solves_at_least_as_many_as_baselines(quick_config):
+    """The headline Figure-8 claim on the subset: Hanoi dominates every baseline."""
+    solved = {}
+    for mode in FIGURE8_MODES:
+        results = [MODES[mode](get_benchmark(name), quick_config) for name in SUBSET]
+        solved[mode] = sum(1 for r in results if r.succeeded)
+    for mode in ("conj-str", "linear-arbitrary", "oneshot"):
+        assert solved["hanoi"] >= solved[mode]

@@ -1,0 +1,33 @@
+"""Benchmark harness for Experiment E5: the motivating example (Section 2).
+
+Times end-to-end inference of the no-duplicates invariant for the ListSet
+module and checks the inferred invariant against the expected behaviour on
+concrete values (rejects a list with duplicates, accepts duplicate-free
+lists), mirroring the invariant printed in Section 2 of the paper.
+"""
+
+from repro.core.hanoi import HanoiInference
+from repro.lang.values import nat_of_int, v_list
+from repro.suite.registry import get_benchmark
+
+
+def test_quickstart_listset(benchmark, quick_config):
+    definition = get_benchmark("/coq/unique-list-::-set")
+
+    def run():
+        return HanoiInference(definition, config=quick_config).infer()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result.succeeded
+
+    invariant = result.invariant
+    assert invariant(v_list([]))
+    assert invariant(v_list([nat_of_int(3)]))
+    assert invariant(v_list([nat_of_int(5), nat_of_int(3)]))
+    assert not invariant(v_list([nat_of_int(1), nat_of_int(1)]))
+    assert not invariant(v_list([nat_of_int(2), nat_of_int(0), nat_of_int(2)]))
+
+    benchmark.extra_info.update({
+        "invariant_size": result.invariant_size,
+        "iterations": result.iterations,
+    })

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the substrates the inference loop is built on.
+
+These are not paper experiments; they track the cost of the pieces that
+dominate inference time (object-language evaluation, value enumeration,
+synthesis, a single inductiveness check) so performance regressions in the
+substrates are visible independently of the end-to-end figures.
+"""
+
+import pytest
+
+from repro.core.config import FAST_VERIFIER_BOUNDS
+from repro.core.predicate import Predicate
+from repro.enumeration.values import ValueEnumerator
+from repro.inductive.relation import ConditionalInductivenessChecker
+from repro.lang.values import nat_of_int, v_list
+from repro.suite.registry import get_benchmark
+from repro.synth.myth import MythSynthesizer
+from repro.verify.tester import Verifier
+
+
+@pytest.fixture(scope="module")
+def listset_instance():
+    return get_benchmark("/coq/unique-list-::-set").instantiate()
+
+
+def test_eval_lookup(benchmark, listset_instance):
+    """Cost of evaluating a module operation on a moderate structure."""
+    values = v_list([nat_of_int(i) for i in range(8)])
+    needle = nat_of_int(7)
+    benchmark(lambda: listset_instance.program.call("lookup", values, needle))
+
+
+def test_value_enumeration(benchmark, listset_instance):
+    """Cost of enumerating the smallest 300 lists."""
+    def run():
+        enumerator = ValueEnumerator(listset_instance.program.types)
+        return enumerator.smallest(listset_instance.concrete_type, 300)
+    result = benchmark(run)
+    assert len(result) == 300
+
+
+def test_synthesis_call(benchmark, listset_instance):
+    """Cost of one synthesis call on a representative example set."""
+    synthesizer = MythSynthesizer(listset_instance)
+    positives = [v_list([]), v_list([nat_of_int(1)]), v_list([nat_of_int(0)])]
+    negatives = [v_list([nat_of_int(1), nat_of_int(1)])]
+    result = benchmark(lambda: synthesizer.synthesize(positives, negatives))
+    assert result
+
+
+def test_sufficiency_check(benchmark, listset_instance):
+    """Cost of one sufficiency verification call."""
+    verifier = Verifier(listset_instance, bounds=FAST_VERIFIER_BOUNDS)
+    invariant = Predicate.from_source(
+        get_benchmark("/coq/unique-list-::-set").expected_invariant,
+        listset_instance.program,
+    )
+    benchmark(lambda: verifier.check_sufficiency(invariant))
+
+
+def test_full_inductiveness_check(benchmark, listset_instance):
+    """Cost of one full-inductiveness check."""
+    checker = ConditionalInductivenessChecker(listset_instance, bounds=FAST_VERIFIER_BOUNDS)
+    invariant = Predicate.from_source(
+        get_benchmark("/coq/unique-list-::-set").expected_invariant,
+        listset_instance.program,
+    )
+    benchmark(lambda: checker.check(invariant, invariant))

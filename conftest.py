@@ -1,0 +1,11 @@
+"""Ensure the in-tree sources are importable when the package has not been
+installed (for example on offline machines where ``pip install -e .`` cannot
+build an editable wheel).  When the package is installed, the installed copy
+shadows nothing because it points at the same ``src`` directory."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Scenario: comparing Hanoi against the prior-work baselines (Figure 8).
+
+Runs Hanoi, the two ablations (Hanoi-SRC, Hanoi-CLC), and the three baselines
+(∧Str, LA, OneShot) over a handful of benchmarks and prints a per-mode
+summary - a miniature of the paper's Figure 8 comparison, whose qualitative
+shape (Hanoi solves the most with the fewest synthesis and verification
+calls; ∧Str and LA lag; OneShot almost always fails) should be visible even
+on this small subset.
+"""
+
+from repro.experiments import FIGURE8_MODES, format_table, mode_summary, quick_config, run_figure8
+
+BENCHMARKS = [
+    "/coq/unique-list-::-set",
+    "/coq/maxfirst-list-::-heap",
+    "/other/sized-list",
+    "/other/nat-nat-option-::-range",
+]
+
+
+def main() -> None:
+    config = quick_config(timeout_seconds=60)
+
+    def progress(result):
+        print(f"  [{result.mode:17s}] {result.benchmark:40s} {result.status:18s} "
+              f"synth={result.stats.synthesis_calls:3d} verify={result.stats.verification_calls:3d} "
+              f"time={result.stats.total_time:5.1f}s")
+
+    results = run_figure8(BENCHMARKS, modes=FIGURE8_MODES, config=config, progress=progress)
+
+    print("\nPer-mode summary:")
+    print(format_table(
+        ["Mode", "Solved", "Benchmarks", "Mean solve time (s)", "Total time (s)"],
+        mode_summary(results),
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on environments whose setuptools/pip
+combination cannot build PEP 660 editable wheels offline (no ``wheel``
+package available).
+"""
+
+from setuptools import setup
+
+setup()

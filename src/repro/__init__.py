@@ -1,0 +1,85 @@
+"""repro: data-driven inference of representation invariants.
+
+A from-scratch Python reproduction of "Data-Driven Inference of
+Representation Invariants" (Miltner, Padhi, Millstein, Walker - PLDI 2020):
+the Hanoi CEGIS algorithm built on visible inductiveness, the object language
+its modules are written in, an enumerative verifier and a Myth-like
+synthesizer, the prior-work baselines, the 28-benchmark suite, and the
+harnesses that regenerate the paper's tables and figures.
+
+Quick start::
+
+    from repro import infer_invariant, get_benchmark, HanoiConfig
+
+    result = infer_invariant(get_benchmark("/coq/unique-list-::-set"),
+                             HanoiConfig(timeout_seconds=60))
+    print(result.status)
+    print(result.render_invariant())
+"""
+
+from .baselines import (
+    ConjunctiveStrengtheningInference,
+    LinearArbitraryInference,
+    OneShotInference,
+)
+from .core import (
+    HanoiConfig,
+    HanoiInference,
+    InferenceResult,
+    InferenceStats,
+    ModuleDefinition,
+    ModuleInstance,
+    Operation,
+    Predicate,
+    Status,
+    SynthesisBounds,
+    VerifierBounds,
+    infer_invariant,
+)
+from .suite import (
+    BENCHMARKS,
+    FAST_BENCHMARKS,
+    GROUPS,
+    PAPER_RESULTS,
+    all_benchmark_names,
+    benchmarks_in_group,
+    fast_benchmarks,
+    get_benchmark,
+)
+from .synth import FoldSynthesizer, MythSynthesizer, SynthesisFailure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "HanoiInference",
+    "infer_invariant",
+    "HanoiConfig",
+    "VerifierBounds",
+    "SynthesisBounds",
+    "ModuleDefinition",
+    "ModuleInstance",
+    "Operation",
+    "Predicate",
+    "InferenceResult",
+    "InferenceStats",
+    "Status",
+    # synthesis
+    "MythSynthesizer",
+    "FoldSynthesizer",
+    "SynthesisFailure",
+    # baselines
+    "ConjunctiveStrengtheningInference",
+    "LinearArbitraryInference",
+    "OneShotInference",
+    # suite
+    "BENCHMARKS",
+    "FAST_BENCHMARKS",
+    "GROUPS",
+    "PAPER_RESULTS",
+    "get_benchmark",
+    "all_benchmark_names",
+    "benchmarks_in_group",
+    "fast_benchmarks",
+]

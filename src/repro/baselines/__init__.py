@@ -1,0 +1,13 @@
+"""Prior-work baselines that Figure 8 compares against, adapted to
+representation-invariant inference exactly as in Section 5.5."""
+
+from .conj_str import ConjunctivePredicate, ConjunctiveStrengtheningInference
+from .linear_arbitrary import LinearArbitraryInference
+from .oneshot import OneShotInference
+
+__all__ = [
+    "ConjunctiveStrengtheningInference",
+    "ConjunctivePredicate",
+    "LinearArbitraryInference",
+    "OneShotInference",
+]

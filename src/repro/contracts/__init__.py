@@ -1,0 +1,11 @@
+"""Contracts: extraction of abstract-type values crossing module boundaries.
+
+First-order positions are collected by a structural walk (``{|v|}_sigma``,
+Figure 3); higher-order positions are instrumented with Findler-Felleisen
+style contracts (Section 4.2).
+"""
+
+from .firstorder import collect_abstract
+from .higherorder import ContractLog, wrap_function
+
+__all__ = ["collect_abstract", "ContractLog", "wrap_function"]

@@ -1,0 +1,48 @@
+"""First-order extraction of abstract-type values: the paper's ``{|v|}_sigma``.
+
+Figure 3's collection function walks a value along its *interface* type and
+collects the sub-values sitting at positions of the abstract type alpha:
+
+* ``{|w|}_beta = {}`` - base-type values contain no abstract values,
+* ``{|v|}_alpha = {v}`` - a value at the abstract type is itself collected,
+* ``{|<v1, v2>|}_(s1*s2) = {|v1|}_s1 U {|v2|}_s2`` - products are walked
+  component-wise.
+
+Values at functional types are not walked (they cannot be collected by a
+first-order traversal); Section 4.2's higher-order contracts handle them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.types import TAbstract, TArrow, TData, TProd, Type
+from ..lang.values import Value, VTuple
+
+__all__ = ["collect_abstract"]
+
+
+def collect_abstract(value: Value, interface_type: Type) -> List[Value]:
+    """All sub-values of ``value`` located at abstract-type positions of
+    ``interface_type``, in left-to-right order.
+
+    The value is a concrete runtime value; the type is the *interface* type
+    (written over the abstract type) describing where abstract positions are.
+    """
+    if isinstance(interface_type, TAbstract):
+        return [value]
+    if isinstance(interface_type, TData):
+        return []
+    if isinstance(interface_type, TArrow):
+        # C-Base analogue for functions: nothing is collected first-order.
+        return []
+    if isinstance(interface_type, TProd):
+        if not isinstance(value, VTuple) or len(value.items) != len(interface_type.items):
+            raise ValueError(
+                f"value {value} does not match product interface type {interface_type}"
+            )
+        collected: List[Value] = []
+        for item, item_type in zip(value.items, interface_type.items):
+            collected.extend(collect_abstract(item, item_type))
+        return collected
+    raise TypeError(f"unknown interface type: {interface_type!r}")

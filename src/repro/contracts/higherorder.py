@@ -1,0 +1,78 @@
+"""Higher-order contracts for counterexample extraction (Section 4.2).
+
+When a module operation takes a functional argument whose type mentions the
+abstract type (for example ``fold : (nat -> t -> t) -> t -> t -> t``), values
+of abstract type cross the module boundary in both directions *during the
+call*:
+
+* the implementation supplies a value to the client when it calls the
+  functional argument - these module-to-client crossings must satisfy the
+  candidate invariant ``Q`` (they are the positions labelled ``Q`` in the
+  paper's example contract ``(any_int -> Q -> P) -> P -> P -> Q``);
+* the client supplies a value to the module when the functional argument
+  returns - these client-to-module crossings are assumed to satisfy ``P``
+  (they are constructible from the client's perspective) and are collected
+  into the witness set ``S``.
+
+:class:`ContractLog` records both kinds of crossings; :func:`wrap_function`
+wraps a function value so that every application is logged.  The
+inductiveness checker inspects the log after running the operation: any
+module-to-client value that violates ``Q`` is an inductiveness counterexample
+(added to the witness set ``V``), and every client-to-module value joins the
+operation's other abstract arguments in ``S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..lang.types import TArrow, Type, mentions_abstract
+from ..lang.values import Value, VNative
+from .firstorder import collect_abstract
+
+__all__ = ["ContractLog", "wrap_function"]
+
+
+@dataclass
+class ContractLog:
+    """Values of abstract type observed crossing a higher-order boundary."""
+
+    #: Abstract values the module passed *into* a client function (must satisfy Q).
+    module_to_client: List[Value] = field(default_factory=list)
+    #: Abstract values a client function returned *to* the module (assumed P).
+    client_to_module: List[Value] = field(default_factory=list)
+
+    def clear(self) -> None:
+        self.module_to_client.clear()
+        self.client_to_module.clear()
+
+
+def wrap_function(fn: Value, interface_type: TArrow, program, log: ContractLog) -> Value:
+    """Wrap ``fn`` (a function value standing for a client-supplied argument)
+    so that abstract values crossing the boundary are recorded in ``log``.
+
+    ``interface_type`` is the functional argument's type written over the
+    abstract type; it tells the contract which positions are abstract.  The
+    wrapping handles curried arrows of any arity by re-wrapping intermediate
+    results.
+    """
+    if not mentions_abstract(interface_type):
+        return fn
+
+    arg_type = interface_type.arg
+    result_type = interface_type.result
+
+    def guarded(argument: Value) -> Value:
+        # The module is calling the client's function: the argument flows
+        # module -> client.
+        log.module_to_client.extend(collect_abstract(argument, arg_type))
+        result = program.apply(fn, argument)
+        if isinstance(result_type, TArrow):
+            return wrap_function(result, result_type, program, log)
+        # The client's function returns to the module: the result flows
+        # client -> module.
+        log.client_to_module.extend(collect_abstract(result, result_type))
+        return result
+
+    return VNative(guarded, name=f"contract<{interface_type}>")

@@ -1,0 +1,242 @@
+"""The Hanoi inference algorithm (Figure 4), with the optimizations of
+Section 4.4.
+
+The loop maintains
+
+* ``V+`` - positive examples, known constructible values of the abstract type
+  that every future candidate must accept, and
+* ``V-`` - negative examples, values the current candidate must reject (they
+  may or may not be constructible),
+
+and alternates two phases for each synthesized candidate ``I``:
+
+* **ClosedPositives** (weakening): check *visible inductiveness* - conditional
+  inductiveness with ``P`` = membership in V+ and ``Q`` = ``I``.  A
+  counterexample's outputs are constructible (they are produced by module
+  operations from known-constructible inputs), so they are added to V+ and
+  the candidate is re-synthesized.  Without counterexample list caching V- is
+  reset at this point; with it, the trace of the current strengthening phase
+  is replayed (Figures 5-6).
+* **NoNegatives** (strengthening): check sufficiency and then full
+  inductiveness (``P`` = ``Q`` = ``I``).  Counterexample witnesses that are
+  not already known constructible become new negative examples; if every
+  witness of a sufficiency violation is known constructible, the module
+  simply does not satisfy the specification and the loop reports it.
+
+The loop terminates when a candidate passes both phases: that candidate is a
+(likely) sufficient representation invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from ..enumeration.functions import FunctionEnumerator
+from ..enumeration.values import ValueEnumerator
+from ..inductive.relation import ConditionalInductivenessChecker
+from ..lang.values import Value, value_size
+from ..synth.base import SynthesisFailure
+from ..synth.cache import SynthesisResultCache
+from ..synth.myth import MythSynthesizer
+from ..verify.result import InductivenessCounterexample, SufficiencyCounterexample, Valid
+from ..verify.tester import Verifier
+from .config import Deadline, HanoiConfig, InferenceTimeout
+from .module import ModuleDefinition, ModuleInstance
+from .predicate import Predicate
+from .result import InferenceResult, Status
+from .stats import InferenceStats
+from .trace import CounterexampleTrace
+
+__all__ = ["HanoiInference", "infer_invariant"]
+
+SynthesizerFactory = Callable[..., object]
+
+
+class HanoiInference:
+    """One configured inference run over one module."""
+
+    def __init__(self, module: ModuleDefinition, config: Optional[HanoiConfig] = None,
+                 synthesizer_factory: Optional[SynthesizerFactory] = None,
+                 mode_name: str = "hanoi"):
+        self.config = config or HanoiConfig()
+        self.definition = module
+        self.instance: ModuleInstance = module.instantiate(fuel=self.config.eval_fuel)
+        self.mode_name = mode_name
+
+        self.stats = InferenceStats()
+        self.deadline: Deadline = self.config.deadline()
+        self.enumerator = ValueEnumerator(self.instance.program.types)
+        self.verifier = Verifier(
+            self.instance, self.enumerator, self.config.verifier_bounds, self.stats, self.deadline
+        )
+        self.checker = ConditionalInductivenessChecker(
+            self.instance,
+            self.enumerator,
+            FunctionEnumerator(self.instance),
+            self.config.verifier_bounds,
+            self.stats,
+            self.deadline,
+        )
+        factory = synthesizer_factory or MythSynthesizer
+        self.synthesizer = factory(
+            self.instance,
+            bounds=self.config.synthesis_bounds,
+            stats=self.stats,
+            deadline=self.deadline,
+        )
+        self.cache: Optional[SynthesisResultCache] = (
+            SynthesisResultCache() if self.config.synthesis_result_caching else None
+        )
+        self.trace: Optional[CounterexampleTrace] = (
+            CounterexampleTrace() if self.config.counterexample_list_caching else None
+        )
+        self.events: List[dict] = []
+
+    # -- public API -------------------------------------------------------------
+
+    def infer(self) -> InferenceResult:
+        """Run the CEGIS loop of Figure 4 and return the outcome."""
+        positives: Set[Value] = set()
+        negatives: Set[Value] = set()
+        iterations = 0
+        try:
+            while iterations < self.config.max_iterations:
+                iterations += 1
+                self.deadline.check()
+
+                candidate = self._next_candidate(positives, negatives)
+                self.stats.candidates_proposed += 1
+
+                # -- ClosedPositives: weaken until visibly inductive ------------------
+                visible = self.checker.check(
+                    p=lambda v: v in positives, q=candidate, p_pool=positives
+                )
+                if isinstance(visible, InductivenessCounterexample):
+                    new_positives = set(visible.outputs) - positives
+                    self._log("visible-counterexample", candidate,
+                              operation=visible.operation,
+                              added=[str(v) for v in sorted(new_positives, key=value_size)])
+                    positives |= new_positives
+                    self.stats.positives_added += len(new_positives)
+                    negatives = self._reset_negatives(new_positives, positives)
+                    continue
+
+                # -- NoNegatives: sufficiency, then full inductiveness ------------------
+                sufficiency = self.verifier.check_sufficiency(candidate)
+                if isinstance(sufficiency, SufficiencyCounterexample):
+                    witnesses = set(sufficiency.witnesses)
+                    new_negatives = witnesses - positives
+                    if not new_negatives:
+                        # Every witness is known constructible: the module
+                        # itself violates the specification (Figure 4's
+                        # "Counterexample N" failure).
+                        self._log("spec-violation", candidate,
+                                  witnesses=[str(v) for v in witnesses])
+                        return self._result(Status.SPEC_VIOLATION, None, iterations,
+                                            message="constructible specification violation: "
+                                                    + ", ".join(str(v) for v in witnesses))
+                    self._log("sufficiency-counterexample", candidate,
+                              added=[str(v) for v in sorted(new_negatives, key=value_size)])
+                    negatives |= new_negatives
+                    self.stats.negatives_added += len(new_negatives)
+                    if self.trace is not None:
+                        self.trace.record(candidate, new_negatives)
+                    continue
+
+                inductive = self.checker.check(p=candidate, q=candidate, p_pool=None)
+                if isinstance(inductive, InductivenessCounterexample):
+                    witnesses = set(inductive.inputs)
+                    new_negatives = witnesses - positives
+                    if not new_negatives:
+                        # Should be impossible once the candidate is visibly
+                        # inductive (Lemma B.11); with a bounded, unsound
+                        # verifier it can still occur, in which case the
+                        # outputs are known constructible and we weaken.
+                        new_positives = set(inductive.outputs) - positives
+                        if not new_positives:
+                            return self._result(
+                                Status.FAILURE, None, iterations,
+                                message="inductiveness counterexample entirely inside V+",
+                            )
+                        self._log("late-visible-counterexample", candidate,
+                                  operation=inductive.operation,
+                                  added=[str(v) for v in new_positives])
+                        positives |= new_positives
+                        self.stats.positives_added += len(new_positives)
+                        negatives = self._reset_negatives(new_positives, positives)
+                        continue
+                    self._log("inductiveness-counterexample", candidate,
+                              operation=inductive.operation,
+                              added=[str(v) for v in sorted(new_negatives, key=value_size)])
+                    negatives |= new_negatives
+                    self.stats.negatives_added += len(new_negatives)
+                    if self.trace is not None:
+                        self.trace.record(candidate, new_negatives)
+                    continue
+
+                # Both checks passed: the candidate is a (likely) sufficient
+                # representation invariant.
+                self._log("success", candidate)
+                return self._result(Status.SUCCESS, candidate, iterations)
+
+            return self._result(Status.FAILURE, None, iterations,
+                                message="iteration limit reached")
+        except InferenceTimeout as timeout:
+            return self._result(Status.TIMEOUT, None, iterations, message=str(timeout))
+        except SynthesisFailure as failure:
+            return self._result(Status.SYNTHESIS_FAILURE, None, iterations, message=str(failure))
+        except NotImplementedError as unsupported:
+            return self._result(Status.FAILURE, None, iterations, message=str(unsupported))
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _next_candidate(self, positives: Set[Value], negatives: Set[Value]) -> Predicate:
+        """Look up a cached candidate or call the synthesizer (Section 4.4)."""
+        if self.cache is not None:
+            cached = self.cache.lookup(positives, negatives)
+            if cached is not None:
+                self.stats.synthesis_cache_hits += 1
+                self._log("synthesis-cache-hit", cached)
+                return cached
+        candidates = self.synthesizer.synthesize(positives, negatives)
+        if self.cache is not None:
+            self.cache.store(candidates)
+        self._log("synthesized", candidates[0], alternatives=len(candidates))
+        return candidates[0]
+
+    def _reset_negatives(self, new_positives: Set[Value], positives: Set[Value]) -> Set[Value]:
+        """V- after a weakening step: empty without counterexample list
+        caching, otherwise the replayed prefix of the current trace."""
+        if self.trace is None:
+            return set()
+        replayed = self.trace.replay(new_positives) - positives
+        self.stats.trace_replays += 1
+        self._log("trace-replay", None, kept=len(replayed))
+        return set(replayed)
+
+    def _log(self, event: str, candidate: Optional[object], **details: object) -> None:
+        entry = {"event": event}
+        if candidate is not None:
+            entry["candidate_size"] = getattr(candidate, "size", None)
+        entry.update(details)
+        self.events.append(entry)
+
+    def _result(self, status: str, invariant: Optional[Predicate], iterations: int,
+                message: str = "") -> InferenceResult:
+        self.stats.finish()
+        return InferenceResult(
+            benchmark=self.definition.name,
+            mode=self.mode_name,
+            status=status,
+            invariant=invariant,
+            stats=self.stats,
+            message=message,
+            iterations=iterations,
+            events=self.events,
+        )
+
+
+def infer_invariant(module: ModuleDefinition, config: Optional[HanoiConfig] = None,
+                    synthesizer_factory: Optional[SynthesizerFactory] = None) -> InferenceResult:
+    """Convenience wrapper: run Hanoi on a module definition and return the result."""
+    return HanoiInference(module, config=config, synthesizer_factory=synthesizer_factory).infer()

@@ -1,0 +1,74 @@
+"""Inference results.
+
+An :class:`InferenceResult` captures everything the experiment harness needs
+about one run: the inferred invariant (if any), a status, the statistics that
+populate the Figure-7 columns, and an event log from which the Figure-5 style
+trace illustrations are rendered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .stats import InferenceStats
+
+__all__ = ["InferenceResult", "Status"]
+
+
+class Status:
+    """Outcome of an inference run (string constants, not an enum, so results
+    serialize trivially)."""
+
+    SUCCESS = "success"
+    TIMEOUT = "timeout"
+    #: The synthesizer could not produce a predicate (Figure 4's "No predicate found").
+    SYNTHESIS_FAILURE = "synthesis-failure"
+    #: A constructible value violating the specification was found
+    #: (Figure 4's "Counterexample N"): the module does not satisfy the spec.
+    SPEC_VIOLATION = "spec-violation"
+    #: The run ended without success for another reason (iteration cap,
+    #: unsupported feature, or an invariant that failed post-hoc validation).
+    FAILURE = "failure"
+
+
+@dataclass
+class InferenceResult:
+    """The outcome of running one inference mode on one benchmark."""
+
+    benchmark: str
+    mode: str
+    status: str
+    invariant: Optional[object]  # Predicate-like: callable with .size / .render()
+    stats: InferenceStats
+    message: str = ""
+    iterations: int = 0
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == Status.SUCCESS
+
+    @property
+    def invariant_size(self) -> Optional[int]:
+        if self.invariant is None:
+            return None
+        return getattr(self.invariant, "size", None)
+
+    def render_invariant(self) -> str:
+        if self.invariant is None:
+            return "(none)"
+        render = getattr(self.invariant, "render", None)
+        return render() if callable(render) else str(self.invariant)
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dictionary with the Figure-7 columns (plus bookkeeping)."""
+        row: Dict[str, object] = {
+            "name": self.benchmark,
+            "mode": self.mode,
+            "status": self.status,
+            "size": self.invariant_size,
+            "iterations": self.iterations,
+        }
+        row.update(self.stats.as_dict())
+        return row

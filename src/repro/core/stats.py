@@ -1,0 +1,115 @@
+"""Statistics instrumentation for inference runs.
+
+The paper's Figure 7 reports, per benchmark:
+
+* ``Size`` - AST size of the inferred invariant,
+* ``Time`` - end-to-end wall-clock time,
+* ``TVT`` / ``TVC`` / ``MVT`` - total verification time, number of
+  verification calls, and mean time per verification call,
+* ``TST`` / ``TSC`` / ``MST`` - the same three quantities for synthesis.
+
+:class:`InferenceStats` accumulates these counters; the experiment harness
+turns them into table rows.  Verification calls cover both sufficiency checks
+and (conditional) inductiveness checks, matching the paper's accounting where
+all checking work flows through the ``Verify`` component.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["InferenceStats"]
+
+
+@dataclass
+class InferenceStats:
+    """Mutable counters describing one inference run."""
+
+    verification_calls: int = 0
+    verification_time: float = 0.0
+    synthesis_calls: int = 0
+    synthesis_time: float = 0.0
+    #: Synthesis requests answered from the synthesis-result cache (Section 4.4).
+    synthesis_cache_hits: int = 0
+    #: Verification/synthesis rounds skipped thanks to counterexample list caching.
+    trace_replays: int = 0
+    #: Number of positive examples added across the run.
+    positives_added: int = 0
+    #: Number of negative examples added across the run.
+    negatives_added: int = 0
+    #: Candidate invariants proposed (including cached ones).
+    candidates_proposed: int = 0
+    #: Values evaluated by the enumerative verifier.
+    structures_tested: int = 0
+    started_at: float = field(default_factory=time.perf_counter)
+    finished_at: Optional[float] = None
+
+    # -- timers ---------------------------------------------------------------
+
+    @contextmanager
+    def verification(self) -> Iterator[None]:
+        """Record one verification call and the time spent inside the block."""
+        self.verification_calls += 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.verification_time += time.perf_counter() - start
+
+    @contextmanager
+    def synthesis(self) -> Iterator[None]:
+        """Record one synthesis call and the time spent inside the block."""
+        self.synthesis_calls += 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.synthesis_time += time.perf_counter() - start
+
+    def finish(self) -> None:
+        """Mark the end of the run (idempotent)."""
+        if self.finished_at is None:
+            self.finished_at = time.perf_counter()
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end wall-clock time of the run (the table's ``Time`` column)."""
+        end = self.finished_at if self.finished_at is not None else time.perf_counter()
+        return end - self.started_at
+
+    @property
+    def mean_verification_time(self) -> Optional[float]:
+        """``MVT``: mean time of a single verification call, or None if no calls."""
+        if self.verification_calls == 0:
+            return None
+        return self.verification_time / self.verification_calls
+
+    @property
+    def mean_synthesis_time(self) -> Optional[float]:
+        """``MST``: mean time of a single synthesis call, or None if no calls."""
+        if self.synthesis_calls == 0:
+            return None
+        return self.synthesis_time / self.synthesis_calls
+
+    def as_dict(self) -> Dict[str, object]:
+        """A flat dictionary of every reported statistic."""
+        return {
+            "time": self.total_time,
+            "tvt": self.verification_time,
+            "tvc": self.verification_calls,
+            "mvt": self.mean_verification_time,
+            "tst": self.synthesis_time,
+            "tsc": self.synthesis_calls,
+            "mst": self.mean_synthesis_time,
+            "synthesis_cache_hits": self.synthesis_cache_hits,
+            "trace_replays": self.trace_replays,
+            "positives_added": self.positives_added,
+            "negatives_added": self.negatives_added,
+            "candidates_proposed": self.candidates_proposed,
+            "structures_tested": self.structures_tested,
+        }

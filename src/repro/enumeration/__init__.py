@@ -1,0 +1,12 @@
+"""Size-ordered enumeration of values, terms, and function arguments.
+
+These enumerators back the unsound enumerative verifier (Section 4.3), the
+inductiveness checker's search for counterexamples, and the enumeration of
+functional arguments for higher-order operations (Section 4.2).
+"""
+
+from .functions import FunctionEnumerator
+from .terms import Component, TermEnumerator
+from .values import ValueEnumerator
+
+__all__ = ["ValueEnumerator", "TermEnumerator", "Component", "FunctionEnumerator"]

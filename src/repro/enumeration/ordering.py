@@ -1,0 +1,48 @@
+"""Fair (diagonal) enumeration of assignments to several quantifiers.
+
+A naive ``itertools.product`` over the quantifier pools explores the last
+pool exhaustively before the first pool ever advances; under a bounded total
+budget (Section 4.3 caps the verifier at 30000 structures) that would leave
+the first quantifier effectively constant.  The verifier and the
+inductiveness checker instead enumerate assignments in order of *total index
+sum* - a diagonal sweep that grows every quantifier together, the same
+smallest-first discipline the paper's enumerative tester uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple, TypeVar
+
+__all__ = ["diagonal_product"]
+
+T = TypeVar("T")
+
+
+def diagonal_product(pools: Sequence[Sequence[T]], max_total: int) -> Iterator[Tuple[T, ...]]:
+    """Yield up to ``max_total`` assignments drawn fairly from every pool.
+
+    Assignments are produced in non-decreasing order of the sum of pool
+    indices, so small values of *every* quantifier are explored before large
+    values of any single one.
+    """
+    if not pools or any(len(pool) == 0 for pool in pools):
+        return
+    counts = [len(pool) for pool in pools]
+    produced = 0
+    max_sum = sum(c - 1 for c in counts)
+    for total in range(0, max_sum + 1):
+        for combo in _index_combos(counts, total):
+            yield tuple(pools[i][j] for i, j in enumerate(combo))
+            produced += 1
+            if produced >= max_total:
+                return
+
+
+def _index_combos(counts: List[int], total: int) -> Iterator[Tuple[int, ...]]:
+    if len(counts) == 1:
+        if total < counts[0]:
+            yield (total,)
+        return
+    for first in range(0, min(counts[0] - 1, total) + 1):
+        for rest in _index_combos(counts[1:], total - first):
+            yield (first,) + rest

@@ -1,0 +1,110 @@
+"""Size-ordered enumeration of first-order values of the object language.
+
+The enumerative verifier of Section 4.3 tests predicates "on data structures,
+from smallest to largest"; this module provides that stream.  Values are
+enumerated in order of *size* (number of constructor / tuple nodes, the same
+metric as :func:`repro.lang.values.value_size`), and within one size in a
+deterministic constructor-declaration order, so runs are reproducible.
+
+The enumerator memoizes the list of values of each (type, size) pair, so
+repeated verification calls over the same program share the work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..lang.typecheck import TypeEnvironment
+from ..lang.types import TArrow, TData, TProd, Type
+from ..lang.values import Value, VCtor, VTuple
+
+__all__ = ["ValueEnumerator"]
+
+
+class ValueEnumerator:
+    """Enumerates values of data types and products in size order."""
+
+    def __init__(self, types: TypeEnvironment):
+        self.types = types
+        self._cache: Dict[Tuple[Type, int], Tuple[Value, ...]] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def values_of_size(self, ty: Type, size: int) -> Tuple[Value, ...]:
+        """All values of ``ty`` with exactly ``size`` nodes."""
+        if size <= 0:
+            return ()
+        key = (ty, size)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = tuple(self._build(ty, size))
+        self._cache[key] = result
+        return result
+
+    def enumerate(self, ty: Type, max_size: Optional[int] = None,
+                  max_count: Optional[int] = None) -> Iterator[Value]:
+        """Yield values of ``ty`` from smallest to largest.
+
+        Stops when ``max_size`` is exceeded or ``max_count`` values have been
+        produced, whichever comes first.  With neither bound the iterator is
+        infinite for recursive types.
+        """
+        produced = 0
+        size = 1
+        while True:
+            if max_size is not None and size > max_size:
+                return
+            for value in self.values_of_size(ty, size):
+                yield value
+                produced += 1
+                if max_count is not None and produced >= max_count:
+                    return
+            size += 1
+
+    def smallest(self, ty: Type, count: int, max_size: int = 64) -> List[Value]:
+        """The ``count`` smallest values of ``ty`` (bounded by ``max_size``)."""
+        return list(self.enumerate(ty, max_size=max_size, max_count=count))
+
+    def count_up_to(self, ty: Type, max_size: int) -> int:
+        """How many values of ``ty`` have at most ``max_size`` nodes."""
+        return sum(len(self.values_of_size(ty, s)) for s in range(1, max_size + 1))
+
+    # -- construction of one size class -----------------------------------------
+
+    def _build(self, ty: Type, size: int) -> Iterator[Value]:
+        if isinstance(ty, TData):
+            yield from self._build_data(ty, size)
+        elif isinstance(ty, TProd):
+            for items in self._build_product(ty.items, size - 1):
+                yield VTuple(items)
+        elif isinstance(ty, TArrow):
+            # Function values are not enumerated here; see enumeration.functions.
+            return
+        else:
+            raise TypeError(f"cannot enumerate values of type {ty!r}")
+
+    def _build_data(self, ty: TData, size: int) -> Iterator[Value]:
+        for ctor in self.types.datatype_ctors(ty.name):
+            if ctor.payload is None:
+                if size == 1:
+                    yield VCtor(ctor.name)
+            else:
+                for payload in self.values_of_size(ctor.payload, size - 1):
+                    yield VCtor(ctor.name, payload)
+
+    def _build_product(self, items: Sequence[Type], budget: int) -> Iterator[Tuple[Value, ...]]:
+        """All tuples of values of the item types whose sizes sum to ``budget``."""
+        if not items:
+            if budget == 0:
+                yield ()
+            return
+        head, rest = items[0], items[1:]
+        # Each component needs at least one node.
+        for head_size in range(1, budget - len(rest) + 1):
+            head_values = self.values_of_size(head, head_size)
+            if not head_values:
+                continue
+            for tail in self._build_product(rest, budget - head_size):
+                for head_value in head_values:
+                    yield (head_value,) + tail

@@ -1,0 +1,31 @@
+"""Experiment harnesses that regenerate the paper's tables and figures.
+
+* :mod:`repro.experiments.figure7` - the per-benchmark results table.
+* :mod:`repro.experiments.figure8` - benchmarks completed versus time per mode.
+* :mod:`repro.experiments.figure5` - counterexample-list-caching traces.
+"""
+
+from .figure5 import run_figure5, trace_lines
+from .figure7 import figure7_rows, run_figure7
+from .figure8 import completion_series, mode_summary, run_figure8
+from .report import format_table, rows_to_csv
+from .runner import FIGURE8_MODES, MODES, PROFILES, paper_config, quick_config, run_benchmark, run_many
+
+__all__ = [
+    "run_benchmark",
+    "run_many",
+    "MODES",
+    "FIGURE8_MODES",
+    "PROFILES",
+    "quick_config",
+    "paper_config",
+    "run_figure7",
+    "figure7_rows",
+    "run_figure8",
+    "completion_series",
+    "mode_summary",
+    "run_figure5",
+    "trace_lines",
+    "format_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,50 @@
+"""Plain-text and CSV rendering of experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "format_seconds"]
+
+
+def format_seconds(value: Optional[float]) -> str:
+    """Seconds with one decimal, ``t/o`` for None (timeout / not applicable)."""
+    if value is None:
+        return "t/o"
+    return f"{value:.1f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A fixed-width text table (the style of the paper's Figure 7)."""
+    rendered_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    output = [line(headers), line(["-" * w for w in widths])]
+    output.extend(line(row) for row in rendered_rows)
+    return "\n".join(output)
+
+
+def rows_to_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """The same rows as CSV text (for saving alongside the paper's tables)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow([_cell(v) for v in row])
+    return buffer.getvalue()
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "t/o"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,124 @@
+"""Running benchmarks under the different inference modes.
+
+The evaluation of Section 5 compares six modes on the same benchmark suite:
+
+======================  ====================================================
+mode name               meaning
+======================  ====================================================
+``hanoi``               the full Hanoi tool (both optimizations enabled)
+``hanoi-src``           Hanoi with synthesis result caching disabled
+``hanoi-clc``           Hanoi with counterexample list caching disabled
+``conj-str``            the ∧Str (LoopInvGen-style) baseline
+``linear-arbitrary``    the LA (LinearArbitrary-style) baseline
+``oneshot``             the OneShot baseline
+``hanoi-fold``          Hanoi with the fold-capable prototype synthesizer
+                        (Section 5.4; not part of Figure 8 but reported in
+                        the text)
+======================  ====================================================
+
+Two configuration profiles are provided: ``quick`` (small verifier bounds and
+short timeouts, suitable for CI and for the pytest-benchmark harness) and
+``paper`` (the bounds of Section 4.3 and a 30-minute timeout, matching the
+paper's experimental setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..baselines.conj_str import ConjunctiveStrengtheningInference
+from ..baselines.linear_arbitrary import LinearArbitraryInference
+from ..baselines.oneshot import OneShotInference
+from ..core.config import FAST_VERIFIER_BOUNDS, HanoiConfig, PAPER_VERIFIER_BOUNDS
+from ..core.hanoi import HanoiInference
+from ..core.module import ModuleDefinition
+from ..core.result import InferenceResult
+from ..suite.registry import all_benchmark_names, get_benchmark
+from ..synth.folds import FoldSynthesizer
+
+__all__ = ["MODES", "PROFILES", "quick_config", "paper_config", "run_benchmark", "run_many"]
+
+
+def quick_config(timeout_seconds: Optional[float] = 60.0) -> HanoiConfig:
+    """The CI-friendly profile: small verifier bounds, one-minute timeout."""
+    return HanoiConfig(verifier_bounds=FAST_VERIFIER_BOUNDS, timeout_seconds=timeout_seconds)
+
+
+def paper_config(timeout_seconds: Optional[float] = 1800.0) -> HanoiConfig:
+    """The paper's profile: Section 4.3 bounds, 30-minute timeout."""
+    return HanoiConfig(verifier_bounds=PAPER_VERIFIER_BOUNDS, timeout_seconds=timeout_seconds)
+
+
+PROFILES: Dict[str, Callable[[Optional[float]], HanoiConfig]] = {
+    "quick": quick_config,
+    "paper": paper_config,
+}
+
+
+def _run_hanoi(definition: ModuleDefinition, config: HanoiConfig) -> InferenceResult:
+    return HanoiInference(definition, config=config, mode_name="hanoi").infer()
+
+
+def _run_hanoi_src(definition: ModuleDefinition, config: HanoiConfig) -> InferenceResult:
+    config = config.without_synthesis_result_caching()
+    return HanoiInference(definition, config=config, mode_name="hanoi-src").infer()
+
+
+def _run_hanoi_clc(definition: ModuleDefinition, config: HanoiConfig) -> InferenceResult:
+    config = config.without_counterexample_list_caching()
+    return HanoiInference(definition, config=config, mode_name="hanoi-clc").infer()
+
+
+def _run_hanoi_fold(definition: ModuleDefinition, config: HanoiConfig) -> InferenceResult:
+    return HanoiInference(
+        definition, config=config, synthesizer_factory=FoldSynthesizer, mode_name="hanoi-fold"
+    ).infer()
+
+
+def _run_conj_str(definition: ModuleDefinition, config: HanoiConfig) -> InferenceResult:
+    return ConjunctiveStrengtheningInference(definition, config=config).infer()
+
+
+def _run_linear_arbitrary(definition: ModuleDefinition, config: HanoiConfig) -> InferenceResult:
+    return LinearArbitraryInference(definition, config=config).infer()
+
+
+def _run_oneshot(definition: ModuleDefinition, config: HanoiConfig) -> InferenceResult:
+    return OneShotInference(definition, config=config).infer()
+
+
+MODES: Dict[str, Callable[[ModuleDefinition, HanoiConfig], InferenceResult]] = {
+    "hanoi": _run_hanoi,
+    "hanoi-src": _run_hanoi_src,
+    "hanoi-clc": _run_hanoi_clc,
+    "conj-str": _run_conj_str,
+    "linear-arbitrary": _run_linear_arbitrary,
+    "oneshot": _run_oneshot,
+    "hanoi-fold": _run_hanoi_fold,
+}
+
+#: The six modes plotted in Figure 8, in the legend's order.
+FIGURE8_MODES = ["hanoi", "hanoi-src", "hanoi-clc", "conj-str", "linear-arbitrary", "oneshot"]
+
+
+def run_benchmark(name: str, mode: str = "hanoi",
+                  config: Optional[HanoiConfig] = None) -> InferenceResult:
+    """Run one benchmark under one mode and return the result."""
+    if mode not in MODES:
+        raise KeyError(f"unknown mode {mode!r}; known: {sorted(MODES)}")
+    definition = get_benchmark(name)
+    return MODES[mode](definition, config or quick_config())
+
+
+def run_many(names: Optional[Iterable[str]] = None, mode: str = "hanoi",
+             config: Optional[HanoiConfig] = None,
+             progress: Optional[Callable[[InferenceResult], None]] = None) -> List[InferenceResult]:
+    """Run a list of benchmarks (all of them by default) under one mode."""
+    results = []
+    for name in (names if names is not None else all_benchmark_names()):
+        result = run_benchmark(name, mode=mode, config=config)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results

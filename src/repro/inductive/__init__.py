@@ -1,0 +1,5 @@
+"""Conditional, visible, and full inductiveness checking (Figure 3)."""
+
+from .relation import ConditionalInductivenessChecker
+
+__all__ = ["ConditionalInductivenessChecker"]

@@ -1,0 +1,349 @@
+"""Abstract syntax of the object language.
+
+The expression grammar follows Section 3.1 of the paper extended with the
+constructs of the implemented language of Section 4.1: recursive data type
+constructors, pattern matching, and (recursive) let definitions.
+
+Design notes
+------------
+* Constructors carry at most one payload expression.  A multi-argument
+  constructor such as ``Cons of nat * list`` takes a single tuple payload,
+  mirroring OCaml's representation.
+* ``if`` is desugared by the parser into a ``match`` over the ``bool`` data
+  type, so there is no ``EIf`` node.
+* AST nodes are frozen dataclasses: they are hashable and comparable, which
+  the synthesizer relies on for caching and deduplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .types import Type
+
+__all__ = [
+    "Expr",
+    "EVar",
+    "ECtor",
+    "ETuple",
+    "EProj",
+    "EApp",
+    "EFun",
+    "ELet",
+    "EMatch",
+    "Pattern",
+    "PWild",
+    "PVar",
+    "PCtor",
+    "PTuple",
+    "Branch",
+    "Decl",
+    "CtorDecl",
+    "TypeDecl",
+    "FunDecl",
+    "expr_size",
+    "app",
+    "free_vars",
+]
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class Pattern:
+    """Base class for match patterns."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return str(self)
+
+
+@dataclass(frozen=True)
+class PWild(Pattern):
+    """The wildcard pattern ``_``."""
+
+    def __str__(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class PVar(Pattern):
+    """A variable pattern binding the matched value."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PCtor(Pattern):
+    """A constructor pattern, optionally matching a payload sub-pattern."""
+
+    ctor: str
+    payload: Optional[Pattern] = None
+
+    def __str__(self) -> str:
+        if self.payload is None:
+            return self.ctor
+        return f"{self.ctor} {self.payload}"
+
+
+@dataclass(frozen=True)
+class PTuple(Pattern):
+    """A tuple pattern ``(p1, ..., pn)``."""
+
+    items: Tuple[Pattern, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(p) for p in self.items) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return str(self)
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    """A variable reference."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ECtor(Expr):
+    """A constructor application with an optional payload expression."""
+
+    ctor: str
+    payload: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        if self.payload is None:
+            return self.ctor
+        return f"({self.ctor} {self.payload})"
+
+
+@dataclass(frozen=True)
+class ETuple(Expr):
+    """A tuple expression ``(e1, ..., en)``."""
+
+    items: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(e) for e in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class EProj(Expr):
+    """Projection ``pi_i e`` of the i-th component (0-based) of a tuple."""
+
+    index: int
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"(proj {self.index} {self.expr})"
+
+
+@dataclass(frozen=True)
+class EApp(Expr):
+    """Function application ``fn arg`` (curried)."""
+
+    fn: Expr
+    arg: Expr
+
+    def __str__(self) -> str:
+        return f"({self.fn} {self.arg})"
+
+
+@dataclass(frozen=True)
+class EFun(Expr):
+    """An anonymous function ``fun (x : t) -> body``."""
+
+    param: str
+    param_type: Type
+    body: Expr
+
+    def __str__(self) -> str:
+        return f"(fun ({self.param} : {self.param_type}) -> {self.body})"
+
+
+@dataclass(frozen=True)
+class ELet(Expr):
+    """A local binding ``let x = value in body``."""
+
+    name: str
+    value: Expr
+    body: Expr
+
+    def __str__(self) -> str:
+        return f"(let {self.name} = {self.value} in {self.body})"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A single ``pattern -> expr`` arm of a match expression."""
+
+    pattern: Pattern
+    body: Expr
+
+    def __str__(self) -> str:
+        return f"| {self.pattern} -> {self.body}"
+
+
+@dataclass(frozen=True)
+class EMatch(Expr):
+    """A match expression over a scrutinee with one or more branches."""
+
+    scrutinee: Expr
+    branches: Tuple[Branch, ...]
+
+    def __str__(self) -> str:
+        arms = " ".join(str(b) for b in self.branches)
+        return f"(match {self.scrutinee} with {arms})"
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CtorDecl:
+    """A constructor declaration ``Name [of payload_type]``."""
+
+    name: str
+    payload: Optional[Type] = None
+
+
+@dataclass(frozen=True)
+class TypeDecl:
+    """A data type declaration ``type name = C1 [of t1] | C2 [of t2] | ...``."""
+
+    name: str
+    ctors: Tuple[CtorDecl, ...]
+
+
+@dataclass(frozen=True)
+class FunDecl:
+    """A top-level (possibly recursive) function or value definition.
+
+    ``params`` is a tuple of ``(name, type)`` pairs; a definition with no
+    parameters is a plain value binding.  ``return_type`` may be ``None`` when
+    omitted in the source, in which case the type checker infers it.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Type], ...]
+    return_type: Optional[Type]
+    body: Expr
+    recursive: bool = False
+
+
+Decl = object  # TypeDecl | FunDecl; kept loose for Python 3.9 compatibility.
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def app(fn: Expr, *args: Expr) -> Expr:
+    """Build a curried application ``fn a1 a2 ... an``."""
+    result = fn
+    for a in args:
+        result = EApp(result, a)
+    return result
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of AST nodes in an expression.
+
+    This is the size metric reported in the paper's Figure 7 ("Size is the
+    size of the inferred invariant" in AST nodes).  Patterns count one node
+    per pattern constructor/variable.
+    """
+    if isinstance(expr, EVar):
+        return 1
+    if isinstance(expr, ECtor):
+        return 1 + (expr_size(expr.payload) if expr.payload is not None else 0)
+    if isinstance(expr, ETuple):
+        return 1 + sum(expr_size(e) for e in expr.items)
+    if isinstance(expr, EProj):
+        return 1 + expr_size(expr.expr)
+    if isinstance(expr, EApp):
+        return 1 + expr_size(expr.fn) + expr_size(expr.arg)
+    if isinstance(expr, EFun):
+        return 1 + expr_size(expr.body)
+    if isinstance(expr, ELet):
+        return 1 + expr_size(expr.value) + expr_size(expr.body)
+    if isinstance(expr, EMatch):
+        total = 1 + expr_size(expr.scrutinee)
+        for branch in expr.branches:
+            total += _pattern_size(branch.pattern) + expr_size(branch.body)
+        return total
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def _pattern_size(pattern: Pattern) -> int:
+    if isinstance(pattern, (PWild, PVar)):
+        return 1
+    if isinstance(pattern, PCtor):
+        return 1 + (_pattern_size(pattern.payload) if pattern.payload else 0)
+    if isinstance(pattern, PTuple):
+        return 1 + sum(_pattern_size(p) for p in pattern.items)
+    raise TypeError(f"unknown pattern node: {pattern!r}")
+
+
+def _pattern_vars(pattern: Pattern) -> frozenset:
+    if isinstance(pattern, PWild):
+        return frozenset()
+    if isinstance(pattern, PVar):
+        return frozenset({pattern.name})
+    if isinstance(pattern, PCtor):
+        return _pattern_vars(pattern.payload) if pattern.payload else frozenset()
+    if isinstance(pattern, PTuple):
+        result = frozenset()
+        for p in pattern.items:
+            result |= _pattern_vars(p)
+        return result
+    raise TypeError(f"unknown pattern node: {pattern!r}")
+
+
+def free_vars(expr: Expr) -> frozenset:
+    """The set of free variable names of an expression."""
+    if isinstance(expr, EVar):
+        return frozenset({expr.name})
+    if isinstance(expr, ECtor):
+        return free_vars(expr.payload) if expr.payload is not None else frozenset()
+    if isinstance(expr, ETuple):
+        result = frozenset()
+        for e in expr.items:
+            result |= free_vars(e)
+        return result
+    if isinstance(expr, EProj):
+        return free_vars(expr.expr)
+    if isinstance(expr, EApp):
+        return free_vars(expr.fn) | free_vars(expr.arg)
+    if isinstance(expr, EFun):
+        return free_vars(expr.body) - {expr.param}
+    if isinstance(expr, ELet):
+        return free_vars(expr.value) | (free_vars(expr.body) - {expr.name})
+    if isinstance(expr, EMatch):
+        result = free_vars(expr.scrutinee)
+        for branch in expr.branches:
+            result |= free_vars(branch.body) - _pattern_vars(branch.pattern)
+        return result
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the object language.
+
+Every failure raised by the lexer, parser, type checker, or evaluator derives
+from :class:`LangError`, so callers that treat the object language as a black
+box (the synthesizer, the verifier, the Hanoi loop) can catch a single type.
+"""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for all object-language errors."""
+
+
+class LexError(LangError):
+    """Raised when the lexer encounters an invalid character or token."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LangError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class TypeError_(LangError):
+    """Raised when an expression or declaration fails to type check.
+
+    Named with a trailing underscore to avoid shadowing the Python builtin.
+    """
+
+
+class EvalError(LangError):
+    """Raised when evaluation gets stuck (ill-typed application, no match...)."""
+
+
+class FuelExhausted(EvalError):
+    """Raised when evaluation exceeds the configured step budget.
+
+    The step budget guards against accidental non-termination in synthesized
+    candidates or user-provided module code; the Hanoi loop treats a fuel
+    failure on a candidate invariant as the candidate being rejected.
+    """
+
+
+class MatchFailure(EvalError):
+    """Raised when a ``match`` expression has no branch covering the value."""

@@ -1,0 +1,135 @@
+"""Lexer for the ML-like surface syntax of the object language.
+
+Token kinds:
+
+* ``LIDENT`` - lowercase identifiers (variables, function names, type names);
+* ``UIDENT`` - capitalized identifiers (data constructors);
+* ``INT`` - non-negative integer literals (sugar for Peano naturals);
+* ``KEYWORD`` - ``type of let rec in match with fun if then else``;
+* punctuation - ``( ) , | * -> = : _``.
+
+Comments use OCaml syntax ``(* ... *)`` and may nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    ["type", "of", "let", "rec", "in", "match", "with", "fun", "if", "then", "else"]
+)
+
+_PUNCTUATION = {
+    "->": "ARROW",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "|": "BAR",
+    "*": "STAR",
+    "=": "EQUAL",
+    ":": "COLON",
+    "_": "UNDERSCORE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a complete source string, raising :class:`LexError` on failure."""
+    tokens: List[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        ch = source[index]
+
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+
+        if source.startswith("(*", index):
+            depth = 1
+            start_line, start_col = line, column
+            advance(2)
+            while depth > 0:
+                if index >= length:
+                    raise LexError("unterminated comment", start_line, start_col)
+                if source.startswith("(*", index):
+                    depth += 1
+                    advance(2)
+                elif source.startswith("*)", index):
+                    depth -= 1
+                    advance(2)
+                else:
+                    advance(1)
+            continue
+
+        if source.startswith("->", index):
+            tokens.append(Token("ARROW", "->", line, column))
+            advance(2)
+            continue
+
+        if ch in _PUNCTUATION:
+            # ``_`` is only an underscore token when not part of an identifier.
+            if ch == "_" and index + 1 < length and (source[index + 1].isalnum() or source[index + 1] == "_"):
+                pass  # fall through to identifier handling below
+            else:
+                tokens.append(Token(_PUNCTUATION[ch], ch, line, column))
+                advance(1)
+                continue
+
+        if ch.isdigit():
+            start = index
+            start_line, start_col = line, column
+            while index < length and source[index].isdigit():
+                advance(1)
+            tokens.append(Token("INT", source[start:index], start_line, start_col))
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = index
+            start_line, start_col = line, column
+            while index < length and (source[index].isalnum() or source[index] in "_'"):
+                advance(1)
+            text = source[start:index]
+            if text in KEYWORDS:
+                kind = "KEYWORD"
+            elif text[0].isupper():
+                kind = "UIDENT"
+            else:
+                kind = "LIDENT"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

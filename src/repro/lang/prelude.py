@@ -1,0 +1,117 @@
+"""The standard prelude shared by every benchmark module.
+
+Following the paper's implementation (Section 4.1): "Numbers are implemented
+as a recursive data type, where a number is either 0 or the successor of a
+number.  Each program includes a prelude that may contain data type
+declarations and functions over those data types."
+
+The prelude declares booleans, Peano naturals, natural options, a three-way
+comparison type, and the arithmetic/comparison/boolean helpers the benchmark
+modules and specifications use.  Benchmark modules declare their own
+container types (lists, trees, tries, ...) on top of this prelude.
+"""
+
+from __future__ import annotations
+
+PRELUDE_SOURCE = """
+type bool = True | False
+
+type nat = O | S of nat
+
+type natoption = NoneN | SomeN of nat
+
+type cmp = LT | EQ | GT
+
+let notb (b : bool) : bool =
+  match b with
+  | True -> False
+  | False -> True
+
+let andb (a : bool) (b : bool) : bool =
+  match a with
+  | True -> b
+  | False -> False
+
+let orb (a : bool) (b : bool) : bool =
+  match a with
+  | True -> True
+  | False -> b
+
+let implb (a : bool) (b : bool) : bool =
+  match a with
+  | True -> b
+  | False -> True
+
+let rec nat_eq (a : nat) (b : nat) : bool =
+  match a with
+  | O -> (match b with | O -> True | S y -> False)
+  | S x -> (match b with | O -> False | S y -> nat_eq x y)
+
+let rec nat_leq (a : nat) (b : nat) : bool =
+  match a with
+  | O -> True
+  | S x -> (match b with | O -> False | S y -> nat_leq x y)
+
+let nat_lt (a : nat) (b : nat) : bool =
+  nat_leq (S a) b
+
+let nat_geq (a : nat) (b : nat) : bool =
+  nat_leq b a
+
+let nat_gt (a : nat) (b : nat) : bool =
+  nat_lt b a
+
+let rec nat_compare (a : nat) (b : nat) : cmp =
+  match a with
+  | O -> (match b with | O -> EQ | S y -> LT)
+  | S x -> (match b with | O -> GT | S y -> nat_compare x y)
+
+let rec plus (a : nat) (b : nat) : nat =
+  match a with
+  | O -> b
+  | S x -> S (plus x b)
+
+let rec minus (a : nat) (b : nat) : nat =
+  match b with
+  | O -> a
+  | S y -> (match a with | O -> O | S x -> minus x y)
+
+let nat_max (a : nat) (b : nat) : nat =
+  if nat_leq a b then b else a
+
+let nat_min (a : nat) (b : nat) : nat =
+  if nat_leq a b then a else b
+
+let succ (a : nat) : nat = S a
+
+let pred (a : nat) : nat =
+  match a with
+  | O -> O
+  | S x -> x
+
+let is_zero (a : nat) : bool =
+  match a with
+  | O -> True
+  | S x -> False
+
+let is_someN (o : natoption) : bool =
+  match o with
+  | NoneN -> False
+  | SomeN x -> True
+
+let optionN_eq (a : natoption) (b : natoption) : bool =
+  match a with
+  | NoneN -> (match b with | NoneN -> True | SomeN y -> False)
+  | SomeN x -> (match b with | NoneN -> False | SomeN y -> nat_eq x y)
+"""
+
+#: Names of prelude functions that synthesizers may use as components by
+#: default.  Benchmarks add their own module operations and helpers on top.
+DEFAULT_SYNTHESIS_COMPONENTS = (
+    "notb",
+    "andb",
+    "orb",
+    "nat_eq",
+    "nat_leq",
+    "nat_lt",
+)

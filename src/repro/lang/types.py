@@ -1,0 +1,153 @@
+"""Types of the object language.
+
+The paper's type grammar (Section 3.1)::
+
+    (0-types) sigma ::= beta | alpha | (sigma * sigma)
+    (1-types) tau   ::= sigma | sigma -> tau | (tau * tau)
+
+In the implementation (Section 4.1) the base types are user-declared recursive
+algebraic data types (booleans, Peano naturals, lists, trees, ...), so our
+representation is:
+
+* :class:`TData` - a named algebraic data type declared with ``type``;
+* :class:`TAbstract` - the single designated abstract type ``alpha`` used in
+  module interfaces and specifications;
+* :class:`TProd` - n-ary products;
+* :class:`TArrow` - function types.
+
+Interface signatures (``tau_m``) mention :class:`TAbstract`; module code and
+values never do - they use the concrete type.  :func:`substitute_abstract`
+performs the substitution ``tau[alpha -> tau_c]`` from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = [
+    "Type",
+    "TData",
+    "TAbstract",
+    "TProd",
+    "TArrow",
+    "substitute_abstract",
+    "mentions_abstract",
+    "arrow_args",
+    "arrow_result",
+    "prod",
+    "arrow",
+]
+
+
+class Type:
+    """Base class of all object-language types.  Instances are immutable."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return str(self)
+
+
+@dataclass(frozen=True)
+class TData(Type):
+    """A named, user-declared algebraic data type (``nat``, ``bool``, ``list``...)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TAbstract(Type):
+    """The designated abstract type ``alpha`` of a module interface."""
+
+    def __str__(self) -> str:
+        return "'t"
+
+
+@dataclass(frozen=True)
+class TProd(Type):
+    """An n-ary product type ``t1 * t2 * ... * tn`` (n >= 2)."""
+
+    items: Tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.items) < 2:
+            raise ValueError("TProd requires at least two components")
+
+    def __str__(self) -> str:
+        return "(" + " * ".join(str(t) for t in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class TArrow(Type):
+    """A function type ``arg -> result``."""
+
+    arg: Type
+    result: Type
+
+    def __str__(self) -> str:
+        return f"({self.arg} -> {self.result})"
+
+
+def prod(*items: Type) -> Type:
+    """Build a product type; with a single component, return it unchanged."""
+    if len(items) == 1:
+        return items[0]
+    return TProd(tuple(items))
+
+
+def arrow(*types: Type) -> Type:
+    """Build a right-nested curried arrow ``t1 -> t2 -> ... -> tn``."""
+    if not types:
+        raise ValueError("arrow requires at least one type")
+    result = types[-1]
+    for t in reversed(types[:-1]):
+        result = TArrow(t, result)
+    return result
+
+
+def substitute_abstract(ty: Type, concrete: Type) -> Type:
+    """Return ``ty`` with every occurrence of the abstract type replaced.
+
+    This is the paper's ``tau[alpha -> tau_c]`` substitution.
+    """
+    if isinstance(ty, TAbstract):
+        return concrete
+    if isinstance(ty, TData):
+        return ty
+    if isinstance(ty, TProd):
+        return TProd(tuple(substitute_abstract(t, concrete) for t in ty.items))
+    if isinstance(ty, TArrow):
+        return TArrow(
+            substitute_abstract(ty.arg, concrete),
+            substitute_abstract(ty.result, concrete),
+        )
+    raise TypeError(f"unknown type node: {ty!r}")
+
+
+def mentions_abstract(ty: Type) -> bool:
+    """True when ``ty`` contains an occurrence of the abstract type."""
+    if isinstance(ty, TAbstract):
+        return True
+    if isinstance(ty, TData):
+        return False
+    if isinstance(ty, TProd):
+        return any(mentions_abstract(t) for t in ty.items)
+    if isinstance(ty, TArrow):
+        return mentions_abstract(ty.arg) or mentions_abstract(ty.result)
+    raise TypeError(f"unknown type node: {ty!r}")
+
+
+def arrow_args(ty: Type) -> Iterator[Type]:
+    """Yield the argument types of a curried arrow type, in order."""
+    while isinstance(ty, TArrow):
+        yield ty.arg
+        ty = ty.result
+
+
+def arrow_result(ty: Type) -> Type:
+    """Return the final result type of a curried arrow type."""
+    while isinstance(ty, TArrow):
+        ty = ty.result
+    return ty

@@ -1,0 +1,23 @@
+"""The 28-benchmark suite of Section 5.1, written in the object language."""
+
+from .registry import (
+    BENCHMARKS,
+    FAST_BENCHMARKS,
+    GROUPS,
+    PAPER_RESULTS,
+    all_benchmark_names,
+    benchmarks_in_group,
+    fast_benchmarks,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "FAST_BENCHMARKS",
+    "GROUPS",
+    "PAPER_RESULTS",
+    "all_benchmark_names",
+    "benchmarks_in_group",
+    "fast_benchmarks",
+    "get_benchmark",
+]

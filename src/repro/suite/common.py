@@ -1,0 +1,70 @@
+"""Shared helpers for defining benchmark modules.
+
+Every benchmark is a :class:`~repro.core.module.ModuleDefinition`: an
+object-language source (module operations plus a specification function),
+the interface signatures of its operations (written over the abstract type),
+and synthesis metadata.  This module provides the type shorthands and a small
+builder so the individual benchmark files stay close to the paper's
+presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.module import ModuleDefinition, Operation
+from ..lang.prelude import DEFAULT_SYNTHESIS_COMPONENTS
+from ..lang.types import TAbstract, TData, TProd, Type, arrow
+
+__all__ = [
+    "ABSTRACT",
+    "NAT",
+    "BOOL",
+    "NATOPTION",
+    "T",
+    "make_definition",
+    "DEFAULT_SYNTHESIS_COMPONENTS",
+]
+
+#: The abstract type of the module interface (``t`` in the paper's examples).
+ABSTRACT = TAbstract()
+#: Peano naturals from the prelude.
+NAT = TData("nat")
+#: Booleans from the prelude.
+BOOL = TData("bool")
+#: Optional naturals from the prelude.
+NATOPTION = TData("natoption")
+#: Alias used when writing operation signatures, mirroring ``val f : t -> ...``.
+T = ABSTRACT
+
+
+def make_definition(name: str, group: str, source: str, concrete_type: Type,
+                    operations: Sequence[Tuple[str, Type]],
+                    spec_signature: Sequence[Type],
+                    spec_name: str = "spec",
+                    components: Sequence[str] = (),
+                    helpers: Sequence[str] = (),
+                    expected_invariant: Optional[str] = None,
+                    description: str = "") -> ModuleDefinition:
+    """Assemble a :class:`ModuleDefinition` from the pieces a benchmark file
+    naturally provides.
+
+    ``components`` extends the default prelude component set with module
+    operations and helper functions the synthesizer may call.
+    """
+    synthesis_components = tuple(dict.fromkeys(
+        list(DEFAULT_SYNTHESIS_COMPONENTS) + list(components) + list(helpers)
+    ))
+    return ModuleDefinition(
+        name=name,
+        group=group,
+        source=source,
+        concrete_type=concrete_type,
+        operations=tuple(Operation(op_name, signature) for op_name, signature in operations),
+        spec_name=spec_name,
+        spec_signature=tuple(spec_signature),
+        synthesis_components=synthesis_components,
+        helper_functions=tuple(helpers),
+        expected_invariant=expected_invariant,
+        description=description,
+    )

@@ -1,0 +1,255 @@
+"""Priority-queue benchmarks.
+
+* ``/coq/maxfirst-list-::-heap`` (and ``+binfuncs``) - a priority queue
+  represented as a list whose *maximum element is first* (in fact kept in
+  descending order so that removing the maximum preserves the invariant).
+* ``/vfa/tree-::-priqueue*`` (and ``+binfuncs*``) - a priority queue
+  represented as a binary tree with the *heap* invariant ("the elements of
+  each node's subtrees are smaller than that node's label").  As in the
+  paper, the starred variants provide the ``true_maximum`` helper function
+  that Myth needs to express the invariant.
+"""
+
+from __future__ import annotations
+
+from ..core.module import ModuleDefinition
+from ..lang.types import TData, arrow
+from .common import ABSTRACT, BOOL, NAT, make_definition
+
+__all__ = [
+    "maxfirst_list_heap",
+    "maxfirst_list_heap_binfuncs",
+    "tree_priqueue",
+    "tree_priqueue_binfuncs",
+]
+
+LIST = TData("list")
+TREE = TData("tree")
+
+# ---------------------------------------------------------------------------
+# Max-first list heap
+# ---------------------------------------------------------------------------
+
+_MAXFIRST_BASE = """
+type list = Nil | Cons of nat * list
+
+let empty : list = Nil
+
+let rec lookup (l : list) (x : nat) : bool =
+  match l with
+  | Nil -> False
+  | Cons (hd, tl) -> orb (nat_eq hd x) (lookup tl x)
+
+let rec insert (l : list) (x : nat) : list =
+  match l with
+  | Nil -> Cons (x, Nil)
+  | Cons (hd, tl) ->
+      (if nat_leq hd x then Cons (x, Cons (hd, tl)) else Cons (hd, insert tl x))
+
+let get_max (l : list) : nat =
+  match l with
+  | Nil -> O
+  | Cons (hd, tl) -> hd
+
+let delete_max (l : list) : list =
+  match l with
+  | Nil -> Nil
+  | Cons (hd, tl) -> tl
+"""
+
+_MAXFIRST_SPEC = """
+let spec (s : list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (insert s i) i)
+      (andb (nat_leq i (get_max (insert s i)))
+            (implb (lookup s i) (nat_leq i (get_max s)))))
+"""
+
+_MAXFIRST_BINFUNCS = """
+let rec merge (a : list) (b : list) : list =
+  match a with
+  | Nil -> b
+  | Cons (hd, tl) -> insert (merge tl b) hd
+
+let spec (s1 : list) (s2 : list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (insert s1 i) i)
+      (andb (nat_leq i (get_max (insert s1 i)))
+        (andb (implb (lookup s1 i) (nat_leq i (get_max s1)))
+              (implb (lookup s1 i) (nat_leq i (get_max (merge s1 s2)))))))
+"""
+
+_MAXFIRST_EXPECTED = """
+let rec expected (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, tl) ->
+      (match tl with
+       | Nil -> True
+       | Cons (hd2, tl2) -> andb (nat_leq hd2 hd) (expected tl))
+"""
+
+
+def maxfirst_list_heap() -> ModuleDefinition:
+    """List-based priority queue with the max-element-first invariant."""
+    return make_definition(
+        name="/coq/maxfirst-list-::-heap",
+        group="coq",
+        source=_MAXFIRST_BASE + _MAXFIRST_SPEC,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete_max", arrow(ABSTRACT, ABSTRACT)),
+            ("get_max", arrow(ABSTRACT, NAT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["lookup", "get_max"],
+        expected_invariant=_MAXFIRST_EXPECTED,
+        description="List-based priority queue kept in descending order.",
+    )
+
+
+def maxfirst_list_heap_binfuncs() -> ModuleDefinition:
+    """The max-first list heap extended with a binary ``merge``."""
+    return make_definition(
+        name="/coq/maxfirst-list-::-heap+binfuncs",
+        group="coq",
+        source=_MAXFIRST_BASE + _MAXFIRST_BINFUNCS,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete_max", arrow(ABSTRACT, ABSTRACT)),
+            ("get_max", arrow(ABSTRACT, NAT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+            ("merge", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, ABSTRACT, NAT],
+        components=["lookup", "get_max"],
+        expected_invariant=_MAXFIRST_EXPECTED,
+        description="Max-first list heap with a binary merge operation.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tree priority queue (binary heap)
+# ---------------------------------------------------------------------------
+
+_PRIQUEUE_BASE = """
+type tree = Leaf | Node of tree * nat * tree
+
+let empty : tree = Leaf
+
+let rec member (t : tree) (x : nat) : bool =
+  match t with
+  | Leaf -> False
+  | Node (lhs, label, rhs) ->
+      orb (nat_eq label x) (orb (member lhs x) (member rhs x))
+
+let rec true_maximum (t : tree) : nat =
+  match t with
+  | Leaf -> O
+  | Node (lhs, label, rhs) -> nat_max label (nat_max (true_maximum lhs) (true_maximum rhs))
+
+let rec insert (t : tree) (x : nat) : tree =
+  match t with
+  | Leaf -> Node (Leaf, x, Leaf)
+  | Node (lhs, label, rhs) ->
+      (if nat_leq x label then Node (insert rhs x, label, lhs)
+       else Node (insert rhs label, x, lhs))
+
+let get_max (t : tree) : nat =
+  match t with
+  | Leaf -> O
+  | Node (lhs, label, rhs) -> label
+
+let rec merge (a : tree) (b : tree) : tree =
+  match a with
+  | Leaf -> b
+  | Node (al, av, ar) ->
+      (match b with
+       | Leaf -> a
+       | Node (bl, bv, br) ->
+           (if nat_leq bv av then Node (merge ar b, av, al)
+            else Node (merge br a, bv, bl)))
+
+let delete_max (t : tree) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, label, rhs) -> merge lhs rhs
+"""
+
+_PRIQUEUE_SPEC = """
+let spec (s : tree) (i : nat) : bool =
+  andb (notb (member empty i))
+    (andb (member (insert s i) i)
+      (andb (nat_leq i (get_max (insert s i)))
+        (andb (implb (member s i) (nat_leq i (get_max s)))
+              (implb (member s i) (nat_leq (get_max (delete_max s)) (get_max s))))))
+"""
+
+_PRIQUEUE_BIN_SPEC = """
+let spec (s1 : tree) (s2 : tree) (i : nat) : bool =
+  andb (notb (member empty i))
+    (andb (member (insert s1 i) i)
+      (andb (nat_leq i (get_max (insert s1 i)))
+        (andb (implb (member s1 i) (nat_leq i (get_max s1)))
+              (implb (member s1 i) (nat_leq i (get_max (merge s1 s2)))))))
+"""
+
+_PRIQUEUE_EXPECTED = """
+let rec expected (t : tree) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, label, rhs) ->
+      andb (andb (nat_leq (true_maximum lhs) label) (nat_leq (true_maximum rhs) label))
+           (andb (expected lhs) (expected rhs))
+"""
+
+
+def tree_priqueue() -> ModuleDefinition:
+    """Binary-tree priority queue with the heap invariant (starred: needs
+    the ``true_maximum`` helper, as in the paper)."""
+    return make_definition(
+        name="/vfa/tree-::-priqueue*",
+        group="vfa",
+        source=_PRIQUEUE_BASE + _PRIQUEUE_SPEC,
+        concrete_type=TREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete_max", arrow(ABSTRACT, ABSTRACT)),
+            ("get_max", arrow(ABSTRACT, NAT)),
+            ("member", arrow(ABSTRACT, NAT, BOOL)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["member", "get_max"],
+        helpers=["true_maximum"],
+        expected_invariant=_PRIQUEUE_EXPECTED,
+        description="Binary-tree priority queue; heap-order representation invariant.",
+    )
+
+
+def tree_priqueue_binfuncs() -> ModuleDefinition:
+    """The tree priority queue with ``merge`` exposed as a binary operation."""
+    return make_definition(
+        name="/vfa/tree-::-priqueue+binfuncs*",
+        group="vfa",
+        source=_PRIQUEUE_BASE + _PRIQUEUE_BIN_SPEC,
+        concrete_type=TREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete_max", arrow(ABSTRACT, ABSTRACT)),
+            ("get_max", arrow(ABSTRACT, NAT)),
+            ("member", arrow(ABSTRACT, NAT, BOOL)),
+            ("merge", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, ABSTRACT, NAT],
+        components=["member", "get_max"],
+        helpers=["true_maximum"],
+        expected_invariant=_PRIQUEUE_EXPECTED,
+        description="Binary-tree priority queue with a binary merge operation.",
+    )

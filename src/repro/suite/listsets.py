@@ -1,0 +1,298 @@
+"""List-based set benchmarks from the Coq group.
+
+* ``/coq/unique-list-::-set`` - the paper's motivating example (Section 2):
+  a set represented as an integer list with a *no duplicates* invariant.
+* ``/coq/unique-list-::-set+binfuncs`` - the same module extended with the
+  binary operations ``union`` and ``inter`` and the n-ary specification of
+  Section 2.2.
+* ``/coq/unique-list-::-set+hofs`` - the same module extended with the
+  higher-order operations ``map`` and ``filter`` (Section 4.2).
+
+* ``/coq/sorted-list-::-set`` (and the ``+binfuncs`` / ``+hofs`` variants) -
+  a set represented as a strictly sorted list with an *ordered* invariant.
+"""
+
+from __future__ import annotations
+
+from ..core.module import ModuleDefinition
+from ..lang.types import TData, arrow
+from .common import ABSTRACT, BOOL, NAT, make_definition
+
+__all__ = [
+    "unique_list_set",
+    "unique_list_set_binfuncs",
+    "unique_list_set_hofs",
+    "sorted_list_set",
+    "sorted_list_set_binfuncs",
+    "sorted_list_set_hofs",
+]
+
+LIST = TData("list")
+
+_UNIQUE_BASE = """
+type list = Nil | Cons of nat * list
+
+let empty : list = Nil
+
+let rec lookup (l : list) (x : nat) : bool =
+  match l with
+  | Nil -> False
+  | Cons (hd, tl) -> orb (nat_eq hd x) (lookup tl x)
+
+let insert (l : list) (x : nat) : list =
+  if lookup l x then l else Cons (x, l)
+
+let rec delete (l : list) (x : nat) : list =
+  match l with
+  | Nil -> Nil
+  | Cons (hd, tl) -> (if nat_eq hd x then tl else Cons (hd, delete tl x))
+"""
+
+_UNIQUE_SPEC = """
+let spec (s : list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (insert s i) i) (notb (lookup (delete s i) i)))
+"""
+
+_UNIQUE_BINFUNCS = """
+let rec union (a : list) (b : list) : list =
+  match a with
+  | Nil -> b
+  | Cons (hd, tl) -> insert (union tl b) hd
+
+let rec inter (a : list) (b : list) : list =
+  match a with
+  | Nil -> Nil
+  | Cons (hd, tl) ->
+      (if lookup b hd then Cons (hd, inter tl b) else inter tl b)
+
+let spec (s1 : list) (s2 : list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (insert s1 i) i)
+      (andb (notb (lookup (delete s1 i) i))
+        (andb (implb (orb (lookup s1 i) (lookup s2 i)) (lookup (union s1 s2) i))
+              (implb (andb (lookup s1 i) (lookup s2 i)) (lookup (inter s1 s2) i)))))
+"""
+
+_UNIQUE_HOFS = """
+let rec map (f : nat -> nat) (l : list) : list =
+  match l with
+  | Nil -> Nil
+  | Cons (hd, tl) -> insert (map f tl) (f hd)
+
+let rec filter (f : nat -> bool) (l : list) : list =
+  match l with
+  | Nil -> Nil
+  | Cons (hd, tl) -> (if f hd then Cons (hd, filter f tl) else filter f tl)
+"""
+
+_UNIQUE_EXPECTED = """
+let rec expected (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, tl) -> andb (notb (lookup tl hd)) (expected tl)
+"""
+
+
+def unique_list_set() -> ModuleDefinition:
+    """The motivating example: list-based set, *no duplicates* invariant."""
+    return make_definition(
+        name="/coq/unique-list-::-set",
+        group="coq",
+        source=_UNIQUE_BASE + _UNIQUE_SPEC,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["lookup"],
+        expected_invariant=_UNIQUE_EXPECTED,
+        description="Set as an integer list; no-duplicates representation invariant.",
+    )
+
+
+def unique_list_set_binfuncs() -> ModuleDefinition:
+    """The unique-list set extended with binary ``union`` and ``inter``."""
+    return make_definition(
+        name="/coq/unique-list-::-set+binfuncs",
+        group="coq",
+        source=_UNIQUE_BASE + _UNIQUE_BINFUNCS,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+            ("union", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+            ("inter", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, ABSTRACT, NAT],
+        components=["lookup"],
+        expected_invariant=_UNIQUE_EXPECTED,
+        description="Unique-list set with binary union/intersection and an n-ary spec.",
+    )
+
+
+def unique_list_set_hofs() -> ModuleDefinition:
+    """The unique-list set extended with higher-order ``map`` and ``filter``."""
+    return make_definition(
+        name="/coq/unique-list-::-set+hofs",
+        group="coq",
+        source=_UNIQUE_BASE + _UNIQUE_HOFS + _UNIQUE_SPEC,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+            ("map", arrow(arrow(NAT, NAT), ABSTRACT, ABSTRACT)),
+            ("filter", arrow(arrow(NAT, BOOL), ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["lookup"],
+        expected_invariant=_UNIQUE_EXPECTED,
+        description="Unique-list set with higher-order map/filter operations.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sorted-list sets
+# ---------------------------------------------------------------------------
+
+_SORTED_BASE = """
+type list = Nil | Cons of nat * list
+
+let empty : list = Nil
+
+let rec lookup (l : list) (x : nat) : bool =
+  match l with
+  | Nil -> False
+  | Cons (hd, tl) -> orb (nat_eq hd x) (lookup tl x)
+
+let rec insert (l : list) (x : nat) : list =
+  match l with
+  | Nil -> Cons (x, Nil)
+  | Cons (hd, tl) ->
+      (if nat_lt x hd then Cons (x, Cons (hd, tl))
+       else (if nat_eq x hd then Cons (hd, tl) else Cons (hd, insert tl x)))
+
+let rec delete (l : list) (x : nat) : list =
+  match l with
+  | Nil -> Nil
+  | Cons (hd, tl) -> (if nat_eq hd x then tl else Cons (hd, delete tl x))
+"""
+
+_SORTED_SPEC = """
+let spec (s : list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (insert s i) i) (notb (lookup (delete s i) i)))
+"""
+
+_SORTED_BINFUNCS = """
+let rec union (a : list) (b : list) : list =
+  match a with
+  | Nil -> b
+  | Cons (hd, tl) -> insert (union tl b) hd
+
+let rec inter (a : list) (b : list) : list =
+  match a with
+  | Nil -> Nil
+  | Cons (hd, tl) ->
+      (if lookup b hd then insert (inter tl b) hd else inter tl b)
+
+let spec (s1 : list) (s2 : list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (insert s1 i) i)
+      (andb (notb (lookup (delete s1 i) i))
+        (andb (implb (orb (lookup s1 i) (lookup s2 i)) (lookup (union s1 s2) i))
+              (implb (andb (lookup s1 i) (lookup s2 i)) (lookup (inter s1 s2) i)))))
+"""
+
+_SORTED_HOFS = """
+let rec map (f : nat -> nat) (l : list) : list =
+  match l with
+  | Nil -> Nil
+  | Cons (hd, tl) -> insert (map f tl) (f hd)
+
+let rec filter (f : nat -> bool) (l : list) : list =
+  match l with
+  | Nil -> Nil
+  | Cons (hd, tl) -> (if f hd then insert (filter f tl) hd else filter f tl)
+"""
+
+_SORTED_EXPECTED = """
+let rec expected (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, tl) ->
+      (match tl with
+       | Nil -> True
+       | Cons (hd2, tl2) -> andb (nat_lt hd hd2) (expected tl))
+"""
+
+
+def sorted_list_set() -> ModuleDefinition:
+    """Set as a strictly sorted list; *ordered* representation invariant."""
+    return make_definition(
+        name="/coq/sorted-list-::-set",
+        group="coq",
+        source=_SORTED_BASE + _SORTED_SPEC,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["lookup", "nat_lt"],
+        expected_invariant=_SORTED_EXPECTED,
+        description="Set as a strictly sorted list (insertion sort insert).",
+    )
+
+
+def sorted_list_set_binfuncs() -> ModuleDefinition:
+    """The sorted-list set extended with binary ``union`` and ``inter``."""
+    return make_definition(
+        name="/coq/sorted-list-::-set+binfuncs",
+        group="coq",
+        source=_SORTED_BASE + _SORTED_BINFUNCS,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+            ("union", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+            ("inter", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, ABSTRACT, NAT],
+        components=["lookup", "nat_lt"],
+        expected_invariant=_SORTED_EXPECTED,
+        description="Sorted-list set with binary union/intersection.",
+    )
+
+
+def sorted_list_set_hofs() -> ModuleDefinition:
+    """The sorted-list set extended with higher-order ``map`` and ``filter``."""
+    return make_definition(
+        name="/coq/sorted-list-::-set+hofs",
+        group="coq",
+        source=_SORTED_BASE + _SORTED_HOFS + _SORTED_SPEC,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+            ("map", arrow(arrow(NAT, NAT), ABSTRACT, ABSTRACT)),
+            ("filter", arrow(arrow(NAT, BOOL), ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["lookup", "nat_lt"],
+        expected_invariant=_SORTED_EXPECTED,
+        description="Sorted-list set with higher-order map/filter operations.",
+    )

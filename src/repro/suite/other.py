@@ -1,0 +1,453 @@
+"""The "Other" benchmark group: six additional problems of our own creation
+"requiring reasoning over lists, natural numbers, monads and other basic data
+structures" (Section 5.1).
+
+* ``/other/cache`` - a membership structure that caches the most recently
+  inserted element; the cache must always be a member of the underlying list.
+* ``/other/listlike-tree`` - a binary tree used as a list (all data lives on
+  the right spine); every left child must be a leaf.
+* ``/other/nat-nat-option-::-range`` - an integer range with an emptiness
+  marker; a non-empty range must have its lower bound below its upper bound.
+* ``/other/rational`` - rationals as numerator/denominator pairs; the
+  denominator must be non-zero.
+* ``/other/sized-list`` - a list carrying its cached length; the cached
+  length must equal the real length.
+* ``/other/stutter-list`` - a list in which every element appears as an
+  adjacent, unique pair.
+"""
+
+from __future__ import annotations
+
+from ..core.module import ModuleDefinition
+from ..lang.types import TData, TProd, arrow
+from .common import ABSTRACT, BOOL, NAT, NATOPTION, make_definition
+
+__all__ = [
+    "cache",
+    "listlike_tree",
+    "nat_nat_option_range",
+    "rational",
+    "sized_list",
+    "stutter_list",
+]
+
+LIST = TData("list")
+TREE = TData("tree")
+RANGE = TData("range")
+
+# ---------------------------------------------------------------------------
+# /other/cache
+# ---------------------------------------------------------------------------
+
+_CACHE_SOURCE = """
+type list = Nil | Cons of nat * list
+
+let rec list_lookup (l : list) (x : nat) : bool =
+  match l with
+  | Nil -> False
+  | Cons (hd, tl) -> orb (nat_eq hd x) (list_lookup tl x)
+
+let empty : natoption * list = (NoneN, Nil)
+
+let insert (s : natoption * list) (x : nat) : natoption * list =
+  match s with
+  | (c, l) -> (SomeN x, Cons (x, l))
+
+let lookup (s : natoption * list) (x : nat) : bool =
+  match s with
+  | (c, l) -> list_lookup l x
+
+let cached (s : natoption * list) : natoption =
+  match s with
+  | (c, l) -> c
+
+let spec (s : natoption * list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (insert s i) i)
+          (match cached s with
+           | NoneN -> True
+           | SomeN c -> lookup s c))
+"""
+
+_CACHE_EXPECTED = """
+let expected (s : natoption * list) : bool =
+  match s with
+  | (c, l) ->
+      (match c with
+       | NoneN -> True
+       | SomeN y -> list_lookup l y)
+"""
+
+
+def cache() -> ModuleDefinition:
+    """A membership structure with a most-recently-inserted cache."""
+    return make_definition(
+        name="/other/cache",
+        group="other",
+        source=_CACHE_SOURCE,
+        concrete_type=TProd((NATOPTION, LIST)),
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+            ("cached", arrow(ABSTRACT, NATOPTION)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["list_lookup", "is_someN"],
+        expected_invariant=_CACHE_EXPECTED,
+        description="Cached-member structure; the cache must be in the list.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# /other/listlike-tree
+# ---------------------------------------------------------------------------
+
+_LISTLIKE_SOURCE = """
+type tree = Leaf | Node of tree * nat * tree
+
+let empty : tree = Leaf
+
+let cons (t : tree) (x : nat) : tree =
+  Node (Leaf, x, t)
+
+let rec lookup (t : tree) (x : nat) : bool =
+  match t with
+  | Leaf -> False
+  | Node (lhs, label, rhs) ->
+      orb (nat_eq label x) (orb (lookup lhs x) (lookup rhs x))
+
+let rec remove (t : tree) (x : nat) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, label, rhs) ->
+      (if nat_eq label x then remove rhs x else Node (lhs, label, remove rhs x))
+
+let head (t : tree) : nat =
+  match t with
+  | Leaf -> O
+  | Node (lhs, label, rhs) -> label
+
+let tail (t : tree) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, label, rhs) -> rhs
+
+let is_leaf (t : tree) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, label, rhs) -> False
+
+let spec (s : tree) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (cons s i) i)
+          (notb (lookup (remove s i) i)))
+"""
+
+_LISTLIKE_EXPECTED = """
+let rec expected (t : tree) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, label, rhs) -> andb (is_leaf lhs) (expected rhs)
+"""
+
+
+def listlike_tree() -> ModuleDefinition:
+    """A binary tree used as a list: all data lives on the right spine."""
+    return make_definition(
+        name="/other/listlike-tree",
+        group="other",
+        source=_LISTLIKE_SOURCE,
+        concrete_type=TREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("cons", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("head", arrow(ABSTRACT, NAT)),
+            ("tail", arrow(ABSTRACT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+            ("remove", arrow(ABSTRACT, NAT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["lookup", "is_leaf"],
+        expected_invariant=_LISTLIKE_EXPECTED,
+        description="Tree-as-list; every left child must be a leaf.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# /other/nat-nat-option-::-range
+# ---------------------------------------------------------------------------
+
+_RANGE_SOURCE = """
+type range = REmpty | RRange of nat * nat
+
+let empty : range = REmpty
+
+let add (r : range) (x : nat) : range =
+  match r with
+  | REmpty -> RRange (x, x)
+  | RRange (lo, hi) -> RRange (nat_min lo x, nat_max hi x)
+
+let contains (r : range) (x : nat) : bool =
+  match r with
+  | REmpty -> False
+  | RRange (lo, hi) -> andb (nat_leq lo x) (nat_leq x hi)
+
+let lower (r : range) : natoption =
+  match r with
+  | REmpty -> NoneN
+  | RRange (lo, hi) -> SomeN lo
+
+let upper (r : range) : natoption =
+  match r with
+  | REmpty -> NoneN
+  | RRange (lo, hi) -> SomeN hi
+
+let spec (r : range) (i : nat) : bool =
+  andb (notb (contains empty i))
+    (andb (contains (add r i) i)
+      (andb (match lower r with | NoneN -> True | SomeN lo -> contains r lo)
+            (match upper r with | NoneN -> True | SomeN hi -> contains r hi)))
+"""
+
+_RANGE_EXPECTED = """
+let expected (r : range) : bool =
+  match r with
+  | REmpty -> True
+  | RRange (lo, hi) -> nat_leq lo hi
+"""
+
+
+def nat_nat_option_range() -> ModuleDefinition:
+    """An integer range; a non-empty range needs lower <= upper."""
+    return make_definition(
+        name="/other/nat-nat-option-::-range",
+        group="other",
+        source=_RANGE_SOURCE,
+        concrete_type=RANGE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("add", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("contains", arrow(ABSTRACT, NAT, BOOL)),
+            ("lower", arrow(ABSTRACT, NATOPTION)),
+            ("upper", arrow(ABSTRACT, NATOPTION)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["contains", "nat_leq"],
+        expected_invariant=_RANGE_EXPECTED,
+        description="Integer range with an emptiness marker.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# /other/rational
+# ---------------------------------------------------------------------------
+
+_RATIONAL_SOURCE = """
+let rec mult (a : nat) (b : nat) : nat =
+  match a with
+  | O -> O
+  | S x -> plus b (mult x b)
+
+let whole (n : nat) : nat * nat = (n, S O)
+
+let rat_add (a : nat * nat) (b : nat * nat) : nat * nat =
+  match a with
+  | (an, ad) -> (match b with
+                 | (bn, bd) -> (plus (mult an bd) (mult bn ad), mult ad bd))
+
+let rat_leq (a : nat * nat) (b : nat * nat) : bool =
+  match a with
+  | (an, ad) -> (match b with
+                 | (bn, bd) -> nat_leq (mult an bd) (mult bn ad))
+
+let rat_lt (a : nat * nat) (b : nat * nat) : bool =
+  match a with
+  | (an, ad) -> (match b with
+                 | (bn, bd) -> nat_lt (mult an bd) (mult bn ad))
+
+let numer (a : nat * nat) : nat =
+  match a with
+  | (an, ad) -> an
+
+let denom (a : nat * nat) : nat =
+  match a with
+  | (an, ad) -> ad
+
+let spec (r1 : nat * nat) (r2 : nat * nat) : bool =
+  andb (rat_lt r1 (rat_add r1 (whole 1)))
+    (andb (rat_leq r1 r1)
+          (implb (rat_leq r1 r2) (rat_leq (rat_add r1 (whole 1)) (rat_add r2 (whole 1)))))
+"""
+
+_RATIONAL_EXPECTED = """
+let expected (r : nat * nat) : bool =
+  match r with
+  | (n, d) -> nat_lt O d
+"""
+
+
+def rational() -> ModuleDefinition:
+    """Rational numbers as numerator/denominator pairs; denominators are non-zero."""
+    return make_definition(
+        name="/other/rational",
+        group="other",
+        source=_RATIONAL_SOURCE,
+        concrete_type=TProd((NAT, NAT)),
+        operations=[
+            ("whole", arrow(NAT, ABSTRACT)),
+            ("rat_add", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+            ("rat_leq", arrow(ABSTRACT, ABSTRACT, BOOL)),
+            ("numer", arrow(ABSTRACT, NAT)),
+            ("denom", arrow(ABSTRACT, NAT)),
+        ],
+        spec_signature=[ABSTRACT, ABSTRACT],
+        components=["nat_lt", "is_zero", "denom", "numer"],
+        expected_invariant=_RATIONAL_EXPECTED,
+        description="Rationals as pairs; the denominator must be non-zero.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# /other/sized-list
+# ---------------------------------------------------------------------------
+
+_SIZED_SOURCE = """
+type list = Nil | Cons of nat * list
+
+let rec len (l : list) : nat =
+  match l with
+  | Nil -> O
+  | Cons (hd, tl) -> S (len tl)
+
+let rec list_lookup (l : list) (x : nat) : bool =
+  match l with
+  | Nil -> False
+  | Cons (hd, tl) -> orb (nat_eq hd x) (list_lookup tl x)
+
+let empty : nat * list = (O, Nil)
+
+let scons (s : nat * list) (x : nat) : nat * list =
+  match s with
+  | (n, l) -> (S n, Cons (x, l))
+
+let stail (s : nat * list) : nat * list =
+  match s with
+  | (n, l) -> (match l with
+               | Nil -> (O, Nil)
+               | Cons (hd, tl) -> (pred n, tl))
+
+let size (s : nat * list) : nat =
+  match s with
+  | (n, l) -> n
+
+let shead (s : nat * list) : nat =
+  match s with
+  | (n, l) -> (match l with
+               | Nil -> O
+               | Cons (hd, tl) -> hd)
+
+let lookup (s : nat * list) (x : nat) : bool =
+  match s with
+  | (n, l) -> list_lookup l x
+
+let spec (s : nat * list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (scons s i) i)
+      (andb (nat_eq (size (scons s i)) (S (size s)))
+        (andb (implb (is_zero (size s)) (notb (lookup s i)))
+              (implb (notb (is_zero (size s))) (lookup s (shead s))))))
+"""
+
+_SIZED_EXPECTED = """
+let expected (s : nat * list) : bool =
+  match s with
+  | (n, l) -> nat_eq n (len l)
+"""
+
+
+def sized_list() -> ModuleDefinition:
+    """A list paired with its cached length."""
+    return make_definition(
+        name="/other/sized-list",
+        group="other",
+        source=_SIZED_SOURCE,
+        concrete_type=TProd((NAT, LIST)),
+        operations=[
+            ("empty", ABSTRACT),
+            ("scons", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("stail", arrow(ABSTRACT, ABSTRACT)),
+            ("size", arrow(ABSTRACT, NAT)),
+            ("shead", arrow(ABSTRACT, NAT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["list_lookup", "len", "is_zero"],
+        expected_invariant=_SIZED_EXPECTED,
+        description="List with a cached length; the cache must equal the real length.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# /other/stutter-list
+# ---------------------------------------------------------------------------
+
+_STUTTER_SOURCE = """
+type list = Nil | Cons of nat * list
+
+let empty : list = Nil
+
+let rec lookup (l : list) (x : nat) : bool =
+  match l with
+  | Nil -> False
+  | Cons (hd, tl) -> orb (nat_eq hd x) (lookup tl x)
+
+let push (l : list) (x : nat) : list =
+  if lookup l x then l else Cons (x, Cons (x, l))
+
+let rec delete (l : list) (x : nat) : list =
+  match l with
+  | Nil -> Nil
+  | Cons (hd, tl) ->
+      (if nat_eq hd x
+       then (match tl with
+             | Nil -> Nil
+             | Cons (hd2, tl2) -> tl2)
+       else Cons (hd, delete tl x))
+
+let spec (s : list) (i : nat) : bool =
+  andb (notb (lookup empty i))
+    (andb (lookup (push s i) i)
+          (notb (lookup (delete s i) i)))
+"""
+
+_STUTTER_EXPECTED = """
+let rec expected (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, tl) ->
+      (match tl with
+       | Nil -> False
+       | Cons (hd2, tl2) ->
+           andb (nat_eq hd hd2) (andb (notb (lookup tl2 hd)) (expected tl2)))
+"""
+
+
+def stutter_list() -> ModuleDefinition:
+    """A list in which each element appears as a unique adjacent pair."""
+    return make_definition(
+        name="/other/stutter-list",
+        group="other",
+        source=_STUTTER_SOURCE,
+        concrete_type=LIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("push", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("lookup", arrow(ABSTRACT, NAT, BOOL)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["lookup"],
+        expected_invariant=_STUTTER_EXPECTED,
+        description="Stuttered list: each element occurs exactly as one adjacent pair.",
+    )

@@ -1,0 +1,375 @@
+"""Lookup-table benchmarks from Verified Functional Algorithms (VFA).
+
+The VFA group contains three table implementations (association list, binary
+search tree, binary trie) with the standard total-map specification:
+
+* ``get empty k = default``
+* ``get (set t k v) k = v``
+* ``k <> k'  ==>  get (set t k v) k' = get t k'``
+
+For these three modules the specification holds of *arbitrary* representation
+values (lookup and update follow the same search path), so the sufficient
+representation invariant Hanoi finds is the trivial one - matching the size-4
+invariants of Figure 7.
+
+The VFA-extended group (``/vfa-extended/...``) adds a ``remove`` operation
+and a corresponding specification clause taken from the Coq standard
+library's finite-map interface.  For the association list and the trie the
+trivial invariant still suffices; for the BST table it does not (removal by
+joining subtrees is only correct on search trees), which is why that
+benchmark times out in the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.module import ModuleDefinition
+from ..lang.types import TData, arrow
+from .common import ABSTRACT, BOOL, NAT, make_definition
+
+__all__ = [
+    "assoc_list_table",
+    "assoc_list_table_extended",
+    "bst_table",
+    "bst_table_extended",
+    "trie_table",
+    "trie_table_extended",
+]
+
+ALIST = TData("alist")
+TREE = TData("tree")
+TRIE = TData("trie")
+POS = TData("pos")
+
+_TRIVIAL_EXPECTED = """
+let expected (t : alist) : bool = True
+"""
+
+# ---------------------------------------------------------------------------
+# Association-list table
+# ---------------------------------------------------------------------------
+
+_ALIST_BASE = """
+type alist = ANil | ACons of nat * nat * alist
+
+let empty : alist = ANil
+
+let rec get (t : alist) (k : nat) : nat =
+  match t with
+  | ANil -> O
+  | ACons (key, value, rest) -> (if nat_eq key k then value else get rest k)
+
+let set (t : alist) (k : nat) (v : nat) : alist =
+  ACons (k, v, t)
+"""
+
+_ALIST_SPEC = """
+let spec (t : alist) (k : nat) (v : nat) (k2 : nat) : bool =
+  andb (nat_eq (get empty k) O)
+    (andb (nat_eq (get (set t k v) k) v)
+          (implb (notb (nat_eq k k2)) (nat_eq (get (set t k v) k2) (get t k2))))
+"""
+
+_ALIST_EXTENDED = """
+let rec remove (t : alist) (k : nat) : alist =
+  match t with
+  | ANil -> ANil
+  | ACons (key, value, rest) ->
+      (if nat_eq key k then remove rest k else ACons (key, value, remove rest k))
+
+let spec (t : alist) (k : nat) (v : nat) (k2 : nat) : bool =
+  andb (nat_eq (get empty k) O)
+    (andb (nat_eq (get (set t k v) k) v)
+      (andb (implb (notb (nat_eq k k2)) (nat_eq (get (set t k v) k2) (get t k2)))
+        (andb (nat_eq (get (remove t k) k) O)
+              (implb (notb (nat_eq k k2)) (nat_eq (get (remove t k) k2) (get t k2))))))
+"""
+
+
+def assoc_list_table() -> ModuleDefinition:
+    """Total map as an association list (VFA ``SearchTree`` chapter's baseline)."""
+    return make_definition(
+        name="/vfa/assoc-list-::-table",
+        group="vfa",
+        source=_ALIST_BASE + _ALIST_SPEC,
+        concrete_type=ALIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("get", arrow(ABSTRACT, NAT, NAT)),
+            ("set", arrow(ABSTRACT, NAT, NAT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT, NAT, NAT],
+        components=["get"],
+        expected_invariant=_TRIVIAL_EXPECTED,
+        description="Total map as an association list; trivial invariant suffices.",
+    )
+
+
+def assoc_list_table_extended() -> ModuleDefinition:
+    """The association-list table extended with ``remove``."""
+    return make_definition(
+        name="/vfa-extended/assoc-list-::-table",
+        group="vfa-extended",
+        source=_ALIST_BASE + _ALIST_EXTENDED,
+        concrete_type=ALIST,
+        operations=[
+            ("empty", ABSTRACT),
+            ("get", arrow(ABSTRACT, NAT, NAT)),
+            ("set", arrow(ABSTRACT, NAT, NAT, ABSTRACT)),
+            ("remove", arrow(ABSTRACT, NAT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT, NAT, NAT],
+        components=["get"],
+        expected_invariant=_TRIVIAL_EXPECTED,
+        description="Association-list table with removal; trivial invariant suffices.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# BST table
+# ---------------------------------------------------------------------------
+
+_BST_TABLE_BASE = """
+type tree = Leaf | Node of tree * nat * nat * tree
+
+let empty : tree = Leaf
+
+let rec get (t : tree) (k : nat) : nat =
+  match t with
+  | Leaf -> O
+  | Node (lhs, key, value, rhs) ->
+      (if nat_lt k key then get lhs k
+       else (if nat_lt key k then get rhs k else value))
+
+let rec set (t : tree) (k : nat) (v : nat) : tree =
+  match t with
+  | Leaf -> Node (Leaf, k, v, Leaf)
+  | Node (lhs, key, value, rhs) ->
+      (if nat_lt k key then Node (set lhs k v, key, value, rhs)
+       else (if nat_lt key k then Node (lhs, key, value, set rhs k v)
+             else Node (lhs, key, v, rhs)))
+"""
+
+_BST_TABLE_SPEC = """
+let spec (t : tree) (k : nat) (v : nat) (k2 : nat) : bool =
+  andb (nat_eq (get empty k) O)
+    (andb (nat_eq (get (set t k v) k) v)
+          (implb (notb (nat_eq k k2)) (nat_eq (get (set t k v) k2) (get t k2))))
+"""
+
+_BST_TABLE_EXTENDED = """
+let rec key_max (t : tree) : nat =
+  match t with
+  | Leaf -> O
+  | Node (lhs, key, value, rhs) ->
+      (match rhs with
+       | Leaf -> key
+       | Node (a, b, c, d) -> key_max rhs)
+
+let rec val_of_max (t : tree) : nat =
+  match t with
+  | Leaf -> O
+  | Node (lhs, key, value, rhs) ->
+      (match rhs with
+       | Leaf -> value
+       | Node (a, b, c, d) -> val_of_max rhs)
+
+let rec delete_rightmost (t : tree) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, key, value, rhs) ->
+      (match rhs with
+       | Leaf -> lhs
+       | Node (a, b, c, d) -> Node (lhs, key, value, delete_rightmost rhs))
+
+let rec remove (t : tree) (k : nat) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, key, value, rhs) ->
+      (if nat_lt k key then Node (remove lhs k, key, value, rhs)
+       else (if nat_lt key k then Node (lhs, key, value, remove rhs k)
+             else (match lhs with
+                   | Leaf -> rhs
+                   | Node (a, b, c, d) ->
+                       Node (delete_rightmost lhs, key_max lhs, val_of_max lhs, rhs))))
+
+let rec all_keys_lt (t : tree) (k : nat) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, key, value, rhs) ->
+      andb (nat_lt key k) (andb (all_keys_lt lhs k) (all_keys_lt rhs k))
+
+let rec all_keys_gt (t : tree) (k : nat) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, key, value, rhs) ->
+      andb (nat_lt k key) (andb (all_keys_gt lhs k) (all_keys_gt rhs k))
+
+let spec (t : tree) (k : nat) (v : nat) (k2 : nat) : bool =
+  andb (nat_eq (get empty k) O)
+    (andb (nat_eq (get (set t k v) k) v)
+      (andb (implb (notb (nat_eq k k2)) (nat_eq (get (set t k v) k2) (get t k2)))
+        (andb (nat_eq (get (remove t k) k) O)
+              (implb (notb (nat_eq k k2)) (nat_eq (get (remove t k) k2) (get t k2))))))
+"""
+
+_BST_TABLE_EXPECTED = """
+let rec expected (t : tree) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, key, value, rhs) ->
+      andb (andb (all_keys_lt lhs key) (all_keys_gt rhs key))
+           (andb (expected lhs) (expected rhs))
+"""
+
+_BST_TABLE_TRIVIAL = """
+let expected (t : tree) : bool = True
+"""
+
+
+def bst_table() -> ModuleDefinition:
+    """Total map as a binary search tree keyed by naturals."""
+    return make_definition(
+        name="/vfa/bst-::-table",
+        group="vfa",
+        source=_BST_TABLE_BASE + _BST_TABLE_SPEC,
+        concrete_type=TREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("get", arrow(ABSTRACT, NAT, NAT)),
+            ("set", arrow(ABSTRACT, NAT, NAT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT, NAT, NAT],
+        components=["get", "nat_lt"],
+        expected_invariant=_BST_TABLE_TRIVIAL,
+        description="Total map as a BST; the table spec holds of arbitrary trees.",
+    )
+
+
+def bst_table_extended() -> ModuleDefinition:
+    """The BST table extended with removal (needs the search-tree invariant)."""
+    return make_definition(
+        name="/vfa-extended/bst-::-table",
+        group="vfa-extended",
+        source=_BST_TABLE_BASE + _BST_TABLE_EXTENDED,
+        concrete_type=TREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("get", arrow(ABSTRACT, NAT, NAT)),
+            ("set", arrow(ABSTRACT, NAT, NAT, ABSTRACT)),
+            ("remove", arrow(ABSTRACT, NAT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT, NAT, NAT],
+        components=["get", "nat_lt"],
+        helpers=["all_keys_lt", "all_keys_gt"],
+        expected_invariant=_BST_TABLE_EXPECTED,
+        description="BST table with removal; requires the search-tree invariant.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trie table (binary trie keyed by binary positives, as in VFA)
+# ---------------------------------------------------------------------------
+
+_TRIE_BASE = """
+type pos = XH | XO of pos | XI of pos
+
+type trie = TLeaf | TNode of trie * nat * trie
+
+let rec pos_eq (a : pos) (b : pos) : bool =
+  match a with
+  | XH -> (match b with | XH -> True | XO y -> False | XI y -> False)
+  | XO x -> (match b with | XH -> False | XO y -> pos_eq x y | XI y -> False)
+  | XI x -> (match b with | XH -> False | XO y -> False | XI y -> pos_eq x y)
+
+let empty : trie = TLeaf
+
+let rec get (t : trie) (k : pos) : nat =
+  match t with
+  | TLeaf -> O
+  | TNode (lhs, value, rhs) ->
+      (match k with
+       | XH -> value
+       | XO rest -> get lhs rest
+       | XI rest -> get rhs rest)
+
+let rec set (t : trie) (k : pos) (v : nat) : trie =
+  match t with
+  | TLeaf ->
+      (match k with
+       | XH -> TNode (TLeaf, v, TLeaf)
+       | XO rest -> TNode (set TLeaf rest v, O, TLeaf)
+       | XI rest -> TNode (TLeaf, O, set TLeaf rest v))
+  | TNode (lhs, value, rhs) ->
+      (match k with
+       | XH -> TNode (lhs, v, rhs)
+       | XO rest -> TNode (set lhs rest v, value, rhs)
+       | XI rest -> TNode (lhs, value, set rhs rest v))
+"""
+
+_TRIE_SPEC = """
+let spec (t : trie) (k : pos) (v : nat) (k2 : pos) : bool =
+  andb (nat_eq (get empty k) O)
+    (andb (nat_eq (get (set t k v) k) v)
+          (implb (notb (pos_eq k k2)) (nat_eq (get (set t k v) k2) (get t k2))))
+"""
+
+_TRIE_EXTENDED = """
+let rec remove (t : trie) (k : pos) : trie =
+  match t with
+  | TLeaf -> TLeaf
+  | TNode (lhs, value, rhs) ->
+      (match k with
+       | XH -> TNode (lhs, O, rhs)
+       | XO rest -> TNode (remove lhs rest, value, rhs)
+       | XI rest -> TNode (lhs, value, remove rhs rest))
+
+let spec (t : trie) (k : pos) (v : nat) (k2 : pos) : bool =
+  andb (nat_eq (get empty k) O)
+    (andb (nat_eq (get (set t k v) k) v)
+      (andb (implb (notb (pos_eq k k2)) (nat_eq (get (set t k v) k2) (get t k2)))
+        (andb (nat_eq (get (remove t k) k) O)
+              (implb (notb (pos_eq k k2)) (nat_eq (get (remove t k) k2) (get t k2))))))
+"""
+
+_TRIE_TRIVIAL = """
+let expected (t : trie) : bool = True
+"""
+
+
+def trie_table() -> ModuleDefinition:
+    """Total map as a binary trie keyed by binary positive numbers."""
+    return make_definition(
+        name="/vfa/trie-::-table",
+        group="vfa",
+        source=_TRIE_BASE + _TRIE_SPEC,
+        concrete_type=TRIE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("get", arrow(ABSTRACT, POS, NAT)),
+            ("set", arrow(ABSTRACT, POS, NAT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, POS, NAT, POS],
+        components=["get"],
+        expected_invariant=_TRIE_TRIVIAL,
+        description="Total map as a binary trie; trivial invariant suffices.",
+    )
+
+
+def trie_table_extended() -> ModuleDefinition:
+    """The trie table extended with ``remove``."""
+    return make_definition(
+        name="/vfa-extended/trie-::-table",
+        group="vfa-extended",
+        source=_TRIE_BASE + _TRIE_EXTENDED,
+        concrete_type=TRIE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("get", arrow(ABSTRACT, POS, NAT)),
+            ("set", arrow(ABSTRACT, POS, NAT, ABSTRACT)),
+            ("remove", arrow(ABSTRACT, POS, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, POS, NAT, POS],
+        components=["get"],
+        expected_invariant=_TRIE_TRIVIAL,
+        description="Binary trie table with removal; trivial invariant suffices.",
+    )

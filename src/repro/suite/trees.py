@@ -1,0 +1,458 @@
+"""Tree-based set benchmarks: binary search trees and red-black trees.
+
+These are the hardest problems in the suite; in the paper most of them time
+out (``/coq/bst-::-set*``, ``/coq/rbtree-::-set*`` and their variants), with
+``/coq/bst-::-set+binfuncs`` being the exception.  They are included in full
+so that the timeout behaviour of Figure 7 can be reproduced, and so that the
+helper-function mechanism (the ``*`` benchmarks) is exercised.
+
+The BST benchmarks provide ``all_lt`` / ``all_gt`` helpers, playing the role
+of the paper's ``min_max_tree`` helper: they make the binary-search-tree
+ordering invariant expressible without synthesizing auxiliary recursive
+functions.
+"""
+
+from __future__ import annotations
+
+from ..core.module import ModuleDefinition
+from ..lang.types import TData, arrow
+from .common import ABSTRACT, BOOL, NAT, make_definition
+
+__all__ = [
+    "bst_set",
+    "bst_set_binfuncs",
+    "bst_set_hofs",
+    "rbtree_set",
+    "rbtree_set_binfuncs",
+    "rbtree_set_hofs",
+]
+
+TREE = TData("tree")
+RBTREE = TData("tree")
+
+# ---------------------------------------------------------------------------
+# Binary search tree set
+# ---------------------------------------------------------------------------
+
+_BST_BASE = """
+type tree = Leaf | Node of tree * nat * tree
+
+let empty : tree = Leaf
+
+let rec member (t : tree) (x : nat) : bool =
+  match t with
+  | Leaf -> False
+  | Node (lhs, label, rhs) ->
+      (if nat_lt x label then member lhs x
+       else (if nat_lt label x then member rhs x else True))
+
+let rec insert (t : tree) (x : nat) : tree =
+  match t with
+  | Leaf -> Node (Leaf, x, Leaf)
+  | Node (lhs, label, rhs) ->
+      (if nat_lt x label then Node (insert lhs x, label, rhs)
+       else (if nat_lt label x then Node (lhs, label, insert rhs x)
+             else Node (lhs, label, rhs)))
+
+let rec tree_max (t : tree) : nat =
+  match t with
+  | Leaf -> O
+  | Node (lhs, label, rhs) ->
+      (match rhs with
+       | Leaf -> label
+       | Node (rl, rv, rr) -> tree_max rhs)
+
+let rec delete_rightmost (t : tree) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, label, rhs) ->
+      (match rhs with
+       | Leaf -> lhs
+       | Node (rl, rv, rr) -> Node (lhs, label, delete_rightmost rhs))
+
+let rec delete (t : tree) (x : nat) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, label, rhs) ->
+      (if nat_lt x label then Node (delete lhs x, label, rhs)
+       else (if nat_lt label x then Node (lhs, label, delete rhs x)
+             else (match lhs with
+                   | Leaf -> rhs
+                   | Node (ll, lv, lr) -> Node (delete_rightmost lhs, tree_max lhs, rhs))))
+
+let rec all_lt (t : tree) (x : nat) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, label, rhs) ->
+      andb (nat_lt label x) (andb (all_lt lhs x) (all_lt rhs x))
+
+let rec all_gt (t : tree) (x : nat) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, label, rhs) ->
+      andb (nat_lt x label) (andb (all_gt lhs x) (all_gt rhs x))
+"""
+
+_BST_SPEC = """
+let spec (s : tree) (i : nat) : bool =
+  andb (notb (member empty i))
+    (andb (member (insert s i) i) (notb (member (delete s i) i)))
+"""
+
+_BST_UNION = """
+let rec union (a : tree) (b : tree) : tree =
+  match a with
+  | Leaf -> b
+  | Node (lhs, label, rhs) -> insert (union lhs (union rhs b)) label
+"""
+
+_BST_BINFUNCS = _BST_UNION + """
+let rec inter (a : tree) (b : tree) : tree =
+  match a with
+  | Leaf -> Leaf
+  | Node (lhs, label, rhs) ->
+      (if member b label then insert (union (inter lhs b) (inter rhs b)) label
+       else union (inter lhs b) (inter rhs b))
+
+let spec (s1 : tree) (s2 : tree) (i : nat) : bool =
+  andb (notb (member empty i))
+    (andb (member (insert s1 i) i)
+      (andb (notb (member (delete s1 i) i))
+        (andb (implb (orb (member s1 i) (member s2 i)) (member (union s1 s2) i))
+              (implb (andb (member s1 i) (member s2 i)) (member (inter s1 s2) i)))))
+"""
+
+_BST_HOFS = _BST_UNION + """
+let rec map (f : nat -> nat) (t : tree) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, label, rhs) -> insert (union (map f lhs) (map f rhs)) (f label)
+
+let rec filter (f : nat -> bool) (t : tree) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (lhs, label, rhs) ->
+      (if f label then insert (union (filter f lhs) (filter f rhs)) label
+       else union (filter f lhs) (filter f rhs))
+"""
+
+_BST_EXPECTED = """
+let rec expected (t : tree) : bool =
+  match t with
+  | Leaf -> True
+  | Node (lhs, label, rhs) ->
+      andb (andb (all_lt lhs label) (all_gt rhs label))
+           (andb (expected lhs) (expected rhs))
+"""
+
+
+def bst_set() -> ModuleDefinition:
+    """Binary-search-tree set (starred: provided ordering helpers)."""
+    return make_definition(
+        name="/coq/bst-::-set*",
+        group="coq",
+        source=_BST_BASE + _BST_SPEC,
+        concrete_type=TREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("member", arrow(ABSTRACT, NAT, BOOL)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["member", "nat_lt"],
+        helpers=["all_lt", "all_gt"],
+        expected_invariant=_BST_EXPECTED,
+        description="Set as a binary search tree; ordering representation invariant.",
+    )
+
+
+def bst_set_binfuncs() -> ModuleDefinition:
+    """The BST set extended with binary ``union`` and ``inter``."""
+    return make_definition(
+        name="/coq/bst-::-set+binfuncs",
+        group="coq",
+        source=_BST_BASE + _BST_BINFUNCS,
+        concrete_type=TREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("member", arrow(ABSTRACT, NAT, BOOL)),
+            ("union", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+            ("inter", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, ABSTRACT, NAT],
+        components=["member", "nat_lt"],
+        helpers=["all_lt", "all_gt"],
+        expected_invariant=_BST_EXPECTED,
+        description="BST set with binary union/intersection.",
+    )
+
+
+def bst_set_hofs() -> ModuleDefinition:
+    """The BST set extended with higher-order ``map`` and ``filter``."""
+    return make_definition(
+        name="/coq/bst-::-set+hofs*",
+        group="coq",
+        source=_BST_BASE + _BST_HOFS + _BST_SPEC,
+        concrete_type=TREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("delete", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("member", arrow(ABSTRACT, NAT, BOOL)),
+            ("map", arrow(arrow(NAT, NAT), ABSTRACT, ABSTRACT)),
+            ("filter", arrow(arrow(NAT, BOOL), ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["member", "nat_lt"],
+        helpers=["all_lt", "all_gt"],
+        expected_invariant=_BST_EXPECTED,
+        description="BST set with higher-order map/filter operations.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Red-black tree set
+# ---------------------------------------------------------------------------
+
+_RBTREE_BASE = """
+type color = Red | Black
+
+type tree = Leaf | Node of color * tree * nat * tree
+
+let empty : tree = Leaf
+
+let rec member (t : tree) (x : nat) : bool =
+  match t with
+  | Leaf -> False
+  | Node (c, lhs, label, rhs) ->
+      (if nat_lt x label then member lhs x
+       else (if nat_lt label x then member rhs x else True))
+
+let balance (c : color) (l : tree) (v : nat) (r : tree) : tree =
+  match c with
+  | Red -> Node (Red, l, v, r)
+  | Black ->
+      (match l with
+       | Node (lc, ll, lv, lr) ->
+           (match lc with
+            | Red ->
+                (match ll with
+                 | Node (llc, lll, llv, llr) ->
+                     (match llc with
+                      | Red -> Node (Red, Node (Black, lll, llv, llr), lv, Node (Black, lr, v, r))
+                      | Black -> (match lr with
+                                  | Node (lrc, lrl, lrv, lrr) ->
+                                      (match lrc with
+                                       | Red -> Node (Red, Node (Black, ll, lv, lrl), lrv, Node (Black, lrr, v, r))
+                                       | Black -> Node (Black, l, v, r))
+                                  | Leaf -> Node (Black, l, v, r)))
+                 | Leaf -> (match lr with
+                            | Node (lrc, lrl, lrv, lrr) ->
+                                (match lrc with
+                                 | Red -> Node (Red, Node (Black, ll, lv, lrl), lrv, Node (Black, lrr, v, r))
+                                 | Black -> Node (Black, l, v, r))
+                            | Leaf -> Node (Black, l, v, r)))
+            | Black -> (match r with
+                        | Node (rc, rl, rv, rr) ->
+                            (match rc with
+                             | Red ->
+                                 (match rl with
+                                  | Node (rlc, rll, rlv, rlr) ->
+                                      (match rlc with
+                                       | Red -> Node (Red, Node (Black, l, v, rll), rlv, Node (Black, rlr, rv, rr))
+                                       | Black -> (match rr with
+                                                   | Node (rrc, rrl, rrv, rrr) ->
+                                                       (match rrc with
+                                                        | Red -> Node (Red, Node (Black, l, v, rl), rv, Node (Black, rrl, rrv, rrr))
+                                                        | Black -> Node (Black, l, v, r))
+                                                   | Leaf -> Node (Black, l, v, r)))
+                                  | Leaf -> (match rr with
+                                             | Node (rrc, rrl, rrv, rrr) ->
+                                                 (match rrc with
+                                                  | Red -> Node (Red, Node (Black, l, v, rl), rv, Node (Black, rrl, rrv, rrr))
+                                                  | Black -> Node (Black, l, v, r))
+                                             | Leaf -> Node (Black, l, v, r)))
+                             | Black -> Node (Black, l, v, r))
+                        | Leaf -> Node (Black, l, v, r)))
+       | Leaf ->
+           (match r with
+            | Node (rc, rl, rv, rr) ->
+                (match rc with
+                 | Red ->
+                     (match rl with
+                      | Node (rlc, rll, rlv, rlr) ->
+                          (match rlc with
+                           | Red -> Node (Red, Node (Black, l, v, rll), rlv, Node (Black, rlr, rv, rr))
+                           | Black -> (match rr with
+                                       | Node (rrc, rrl, rrv, rrr) ->
+                                           (match rrc with
+                                            | Red -> Node (Red, Node (Black, l, v, rl), rv, Node (Black, rrl, rrv, rrr))
+                                            | Black -> Node (Black, l, v, r))
+                                       | Leaf -> Node (Black, l, v, r)))
+                      | Leaf -> (match rr with
+                                 | Node (rrc, rrl, rrv, rrr) ->
+                                     (match rrc with
+                                      | Red -> Node (Red, Node (Black, l, v, rl), rv, Node (Black, rrl, rrv, rrr))
+                                      | Black -> Node (Black, l, v, r))
+                                 | Leaf -> Node (Black, l, v, r)))
+                 | Black -> Node (Black, l, v, r))
+            | Leaf -> Node (Black, l, v, r)))
+
+let rec insert_aux (t : tree) (x : nat) : tree =
+  match t with
+  | Leaf -> Node (Red, Leaf, x, Leaf)
+  | Node (c, lhs, label, rhs) ->
+      (if nat_lt x label then balance c (insert_aux lhs x) label rhs
+       else (if nat_lt label x then balance c lhs label (insert_aux rhs x)
+             else Node (c, lhs, label, rhs)))
+
+let blacken (t : tree) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (c, lhs, label, rhs) -> Node (Black, lhs, label, rhs)
+
+let insert (t : tree) (x : nat) : tree =
+  blacken (insert_aux t x)
+
+let rec tree_minimum (t : tree) : nat =
+  match t with
+  | Leaf -> O
+  | Node (c, lhs, label, rhs) ->
+      (match lhs with
+       | Leaf -> label
+       | Node (lc, ll, lv, lr) -> tree_minimum lhs)
+
+let rec all_lt (t : tree) (x : nat) : bool =
+  match t with
+  | Leaf -> True
+  | Node (c, lhs, label, rhs) ->
+      andb (nat_lt label x) (andb (all_lt lhs x) (all_lt rhs x))
+
+let rec all_gt (t : tree) (x : nat) : bool =
+  match t with
+  | Leaf -> True
+  | Node (c, lhs, label, rhs) ->
+      andb (nat_lt x label) (andb (all_gt lhs x) (all_gt rhs x))
+
+let rec elements_subset (a : tree) (b : tree) : bool =
+  match a with
+  | Leaf -> True
+  | Node (c, lhs, label, rhs) ->
+      andb (member b label) (andb (elements_subset lhs b) (elements_subset rhs b))
+"""
+
+_RBTREE_SPEC = """
+let spec (s : tree) (i : nat) : bool =
+  andb (notb (member empty i))
+    (andb (member (insert s i) i)
+      (andb (implb (member s i) (member (insert s 1) i))
+            (implb (member s i) (nat_leq (tree_minimum s) i))))
+"""
+
+_RBTREE_BINFUNCS = """
+let rec union (a : tree) (b : tree) : tree =
+  match a with
+  | Leaf -> b
+  | Node (c, lhs, label, rhs) -> insert (union lhs (union rhs b)) label
+
+let spec (s1 : tree) (s2 : tree) (i : nat) : bool =
+  andb (notb (member empty i))
+    (andb (member (insert s1 i) i)
+      (andb (implb (member s1 i) (nat_leq (tree_minimum s1) i))
+            (implb (orb (member s1 i) (member s2 i)) (member (union s1 s2) i))))
+"""
+
+_RBTREE_HOFS = """
+let rec union (a : tree) (b : tree) : tree =
+  match a with
+  | Leaf -> b
+  | Node (c, lhs, label, rhs) -> insert (union lhs (union rhs b)) label
+
+let rec map (f : nat -> nat) (t : tree) : tree =
+  match t with
+  | Leaf -> Leaf
+  | Node (c, lhs, label, rhs) -> insert (union (map f lhs) (map f rhs)) (f label)
+
+let spec (s : tree) (i : nat) : bool =
+  andb (notb (member empty i))
+    (andb (member (insert s i) i)
+      (andb (implb (member s i) (member (insert s 1) i))
+            (implb (member s i) (nat_leq (tree_minimum s) i))))
+"""
+
+_RBTREE_EXPECTED = """
+let rec expected (t : tree) : bool =
+  match t with
+  | Leaf -> True
+  | Node (c, lhs, label, rhs) ->
+      andb (andb (all_lt lhs label) (all_gt rhs label))
+           (andb (expected lhs) (expected rhs))
+"""
+
+
+def rbtree_set() -> ModuleDefinition:
+    """Red-black-tree set (starred; expected to time out, as in the paper)."""
+    return make_definition(
+        name="/coq/rbtree-::-set*",
+        group="coq",
+        source=_RBTREE_BASE + _RBTREE_SPEC,
+        concrete_type=RBTREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("member", arrow(ABSTRACT, NAT, BOOL)),
+            ("tree_minimum", arrow(ABSTRACT, NAT)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["member", "nat_lt", "tree_minimum"],
+        helpers=["all_lt", "all_gt"],
+        expected_invariant=_RBTREE_EXPECTED,
+        description="Set as an Okasaki-style red-black tree.",
+    )
+
+
+def rbtree_set_binfuncs() -> ModuleDefinition:
+    """The red-black-tree set extended with a binary ``union``."""
+    return make_definition(
+        name="/coq/rbtree-::-set+binfuncs",
+        group="coq",
+        source=_RBTREE_BASE + _RBTREE_BINFUNCS,
+        concrete_type=RBTREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("member", arrow(ABSTRACT, NAT, BOOL)),
+            ("tree_minimum", arrow(ABSTRACT, NAT)),
+            ("union", arrow(ABSTRACT, ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, ABSTRACT, NAT],
+        components=["member", "nat_lt", "tree_minimum"],
+        helpers=["all_lt", "all_gt"],
+        expected_invariant=_RBTREE_EXPECTED,
+        description="Red-black-tree set with a binary union.",
+    )
+
+
+def rbtree_set_hofs() -> ModuleDefinition:
+    """The red-black-tree set extended with a higher-order ``map``."""
+    return make_definition(
+        name="/coq/rbtree-::-set+hofs*",
+        group="coq",
+        source=_RBTREE_BASE + _RBTREE_HOFS,
+        concrete_type=RBTREE,
+        operations=[
+            ("empty", ABSTRACT),
+            ("insert", arrow(ABSTRACT, NAT, ABSTRACT)),
+            ("member", arrow(ABSTRACT, NAT, BOOL)),
+            ("tree_minimum", arrow(ABSTRACT, NAT)),
+            ("map", arrow(arrow(NAT, NAT), ABSTRACT, ABSTRACT)),
+        ],
+        spec_signature=[ABSTRACT, NAT],
+        components=["member", "nat_lt", "tree_minimum"],
+        helpers=["all_lt", "all_gt"],
+        expected_invariant=_RBTREE_EXPECTED,
+        description="Red-black-tree set with a higher-order map.",
+    )

@@ -1,0 +1,17 @@
+"""Synthesis of candidate representation invariants (the ``Synth`` component)."""
+
+from .base import SynthesisFailure, Synthesizer
+from .cache import SynthesisResultCache
+from .examples import ExampleOracle, subvalues_at_type
+from .folds import FoldSynthesizer
+from .myth import MythSynthesizer
+
+__all__ = [
+    "Synthesizer",
+    "SynthesisFailure",
+    "MythSynthesizer",
+    "FoldSynthesizer",
+    "SynthesisResultCache",
+    "ExampleOracle",
+    "subvalues_at_type",
+]

@@ -1,0 +1,47 @@
+"""Synthesizer interface.
+
+The Hanoi algorithm is parameterized by a synthesizer ``Synth`` that, given a
+set V+ of positive examples and a set V- of negative examples over the
+concrete type, returns a predicate separating them (Section 3.3).  The
+paper's implementation uses Myth; ours provides
+
+* :class:`~repro.synth.myth.MythSynthesizer` - a type-and-example-directed
+  enumerative synthesizer in the spirit of Myth,
+* :class:`~repro.synth.folds.FoldSynthesizer` - the prototype extension of
+  Section 5.4 that can use derived accumulator functions,
+
+both implementing the :class:`Synthesizer` protocol below.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Protocol, Sequence
+
+from ..core.predicate import Predicate
+from ..lang.values import Value
+
+__all__ = ["Synthesizer", "SynthesisFailure"]
+
+
+class SynthesisFailure(Exception):
+    """Raised when no predicate consistent with the examples can be found.
+
+    The Hanoi loop turns this into the "No predicate found" failure of
+    Figure 4 (it also fires when V+ and V- overlap, which signals an actual
+    specification violation or an inconsistency introduced by the unsound
+    verifier).
+    """
+
+
+class Synthesizer(Protocol):
+    """The ``Synth`` black box of the paper."""
+
+    def synthesize(self, positives: Iterable[Value],
+                   negatives: Iterable[Value]) -> List[Predicate]:
+        """Return one or more predicates that are ``true`` on every positive
+        example and ``false`` on every negative example, best candidate first.
+
+        Raises :class:`SynthesisFailure` when no such predicate is found
+        within the synthesizer's bounds.
+        """
+        ...

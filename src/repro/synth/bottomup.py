@@ -1,0 +1,231 @@
+"""Bottom-up term enumeration with observational-equivalence pruning.
+
+The Myth-like synthesizer needs, for every branch of a candidate match
+skeleton, the pool of well-typed terms over the branch's context together
+with each term's behaviour on the branch's examples.  Building that pool
+bottom-up and keeping only one term per distinct behaviour vector
+(observational equivalence) is what keeps enumerative, example-directed
+synthesis tractable; it is the standard technique behind enumerative
+synthesizers in the Myth family.
+
+A :class:`TermPool` holds, per result type, a list of :class:`TermEntry`
+objects - the term, its size, and the tuple of values it produces on each
+example environment.  Applications are evaluated *semantically* (component
+function values applied to previously computed argument values) rather than
+by re-interpreting whole expressions, so pool construction stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import Deadline
+from ..lang.ast import ECtor, EVar, Expr, app
+from ..lang.errors import LangError
+from ..lang.typecheck import TypeEnvironment
+from ..lang.types import TData, Type, arrow_args, arrow_result
+from ..lang.values import Value, VCtor
+from ..lang.program import Program
+
+__all__ = ["TypedComponent", "TermEntry", "TermPool"]
+
+
+@dataclass(frozen=True)
+class TypedComponent:
+    """A function available to synthesized terms, with its concrete signature.
+
+    ``argument_restrictions`` limits argument positions to specific variable
+    names; the synthesizer uses this to force the invariant's recursive call
+    to take a structurally smaller argument.
+    """
+
+    name: str
+    signature: Type
+    fn: Value
+    argument_restrictions: Tuple[Optional[frozenset], ...] = ()
+
+    @property
+    def argument_types(self) -> Tuple[Type, ...]:
+        return tuple(arrow_args(self.signature))
+
+    @property
+    def result_type(self) -> Type:
+        return arrow_result(self.signature)
+
+
+@dataclass(frozen=True)
+class TermEntry:
+    """A candidate term together with its behaviour on the examples."""
+
+    expr: Expr
+    size: int
+    vector: Tuple[Value, ...]
+    variable: Optional[str] = None  # set when the term is a bare variable
+
+
+class TermPool:
+    """Size-stratified pools of terms, deduplicated by behaviour."""
+
+    def __init__(self, program: Program,
+                 components: Sequence[TypedComponent],
+                 context: Sequence[Tuple[str, Type]],
+                 environments: Sequence[Dict[str, Value]],
+                 max_size: int,
+                 constant_datatypes: Sequence[str] = ("nat",),
+                 max_applications: int = 60_000,
+                 deadline: Optional[Deadline] = None):
+        self.program = program
+        self.types: TypeEnvironment = program.types
+        self.components = tuple(components)
+        self.context = tuple(context)
+        self.environments = list(environments)
+        self.max_size = max_size
+        self.constant_datatypes = tuple(constant_datatypes)
+        self.max_applications = max_applications
+        self.deadline = deadline or Deadline(None)
+
+        #: entries grouped by (result type, size)
+        self._by_type_size: Dict[Tuple[Type, int], List[TermEntry]] = {}
+        self._seen: Dict[Tuple[Type, Tuple[Value, ...]], TermEntry] = {}
+        self._applications = 0
+        self._build()
+
+    # -- queries -----------------------------------------------------------------
+
+    def entries(self, result_type: Type) -> List[TermEntry]:
+        """All entries of the given type, smallest first."""
+        found: List[TermEntry] = []
+        for size in range(1, self.max_size + 1):
+            found.extend(self._by_type_size.get((result_type, size), []))
+        return found
+
+    # -- construction ---------------------------------------------------------------
+
+    def _add(self, result_type: Type, entry: TermEntry) -> bool:
+        key = (result_type, entry.vector)
+        if key in self._seen:
+            return False
+        self._seen[key] = entry
+        self._by_type_size.setdefault((result_type, entry.size), []).append(entry)
+        return True
+
+    def _build(self) -> None:
+        if not self.environments:
+            return
+        self._build_leaves()
+        for size in range(2, self.max_size + 1):
+            self._build_size(size)
+            if self._applications >= self.max_applications:
+                break
+
+    def _build_leaves(self) -> None:
+        for name, ty in self.context:
+            vector = tuple(env[name] for env in self.environments)
+            self._add(ty, TermEntry(EVar(name), 1, vector, variable=name))
+        for datatype in self._relevant_datatypes():
+            for ctor in self.types.datatype_ctors(datatype):
+                if ctor.payload is None:
+                    value = VCtor(ctor.name)
+                    vector = tuple(value for _ in self.environments)
+                    self._add(TData(datatype), TermEntry(ECtor(ctor.name), 1, vector))
+
+    def _relevant_datatypes(self) -> List[str]:
+        names = {"bool"}
+        for _, ty in self.context:
+            if isinstance(ty, TData):
+                names.add(ty.name)
+        for component in self.components:
+            for ty in component.argument_types:
+                if isinstance(ty, TData):
+                    names.add(ty.name)
+            if isinstance(component.result_type, TData):
+                names.add(component.result_type.name)
+        return sorted(n for n in names if n in self.types.datatypes)
+
+    def _build_size(self, size: int) -> None:
+        # Constructor applications over "constant-like" datatypes (Peano
+        # naturals by default) provide numeric constants such as 1, 2, 3 and
+        # successor patterns without flooding the pool with container literals.
+        for datatype in self.constant_datatypes:
+            if datatype not in self.types.datatypes:
+                continue
+            goal = TData(datatype)
+            for ctor in self.types.datatype_ctors(datatype):
+                if ctor.payload is None:
+                    continue
+                for entry in self._by_type_size.get((ctor.payload, size - 1), []):
+                    vector = tuple(VCtor(ctor.name, v) for v in entry.vector)
+                    self._add(goal, TermEntry(ECtor(ctor.name, entry.expr), size, vector))
+
+        for component in self.components:
+            arg_types = component.argument_types
+            if not arg_types:
+                continue
+            arity = len(arg_types)
+            budget = size - arity - 1
+            if budget < arity:
+                continue
+            for arg_sizes in _partitions(budget, arity):
+                self._build_applications(component, arg_sizes, size)
+                if self._applications >= self.max_applications:
+                    return
+
+    def _build_applications(self, component: TypedComponent,
+                            arg_sizes: Tuple[int, ...], size: int) -> None:
+        pools: List[List[TermEntry]] = []
+        for index, (arg_type, arg_size) in enumerate(zip(component.argument_types, arg_sizes)):
+            restriction = (
+                component.argument_restrictions[index]
+                if index < len(component.argument_restrictions)
+                else None
+            )
+            pool = self._by_type_size.get((arg_type, arg_size), [])
+            if restriction is not None:
+                pool = [e for e in pool if e.variable is not None and e.variable in restriction]
+            if not pool:
+                return
+            pools.append(pool)
+
+        for combo in _product(pools):
+            if self._applications >= self.max_applications:
+                return
+            self._applications += 1
+            if self._applications % 512 == 0:
+                self.deadline.check()
+            vector = self._apply_vector(component, combo)
+            if vector is None:
+                continue
+            expr = app(EVar(component.name), *[entry.expr for entry in combo])
+            self._add(component.result_type, TermEntry(expr, size, vector))
+
+    def _apply_vector(self, component: TypedComponent,
+                      combo: Sequence[TermEntry]) -> Optional[Tuple[Value, ...]]:
+        results: List[Value] = []
+        for index in range(len(self.environments)):
+            args = [entry.vector[index] for entry in combo]
+            try:
+                results.append(self.program.apply(component.fn, *args))
+            except (LangError, KeyError, ValueError):
+                return None
+        return tuple(results)
+
+
+def _partitions(total: int, parts: int):
+    if parts == 1:
+        if total >= 1:
+            yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _partitions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def _product(pools: Sequence[List[TermEntry]]):
+    if not pools:
+        yield ()
+        return
+    head, rest = pools[0], pools[1:]
+    for tail in _product(rest):
+        for item in head:
+            yield (item,) + tail

@@ -1,0 +1,54 @@
+"""Synthesis result caching (Section 4.4).
+
+"When synthesizing, Myth often finds multiple possible solutions for a given
+set of input/output examples.  Instead of throwing the unchosen solutions
+away, we store them for future synthesis calls.  When given a set of
+input/output examples, before making a call to Myth, we check if any of the
+previously synthesized invariants satisfy the input/output example set.  If
+one does, that invariant is used instead of a freshly synthesized one."
+
+:class:`SynthesisResultCache` implements exactly that policy.  The Hanoi loop
+consults it before every synthesis call; the Hanoi-SRC ablation simply never
+installs a cache.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.predicate import Predicate
+from ..lang.values import Value
+
+__all__ = ["SynthesisResultCache"]
+
+
+class SynthesisResultCache:
+    """Stores every candidate invariant ever produced by the synthesizer."""
+
+    def __init__(self) -> None:
+        self._candidates: List[Predicate] = []
+        self._keys = set()
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    @property
+    def candidates(self) -> Sequence[Predicate]:
+        return tuple(self._candidates)
+
+    def store(self, predicates: Iterable[Predicate]) -> None:
+        """Remember candidates (deduplicated by their definition)."""
+        for predicate in predicates:
+            key = predicate.decl
+            if key not in self._keys:
+                self._keys.add(key)
+                self._candidates.append(predicate)
+
+    def lookup(self, positives: Iterable[Value], negatives: Iterable[Value]) -> Optional[Predicate]:
+        """The first cached candidate consistent with the example sets, if any."""
+        positives = list(positives)
+        negatives = list(negatives)
+        for predicate in self._candidates:
+            if predicate.consistent_with(positives, negatives):
+                return predicate
+        return None

@@ -1,0 +1,19 @@
+"""The unsound, size-bounded enumerative verifier (Section 4.3)."""
+
+from .result import (
+    VALID,
+    CheckResult,
+    InductivenessCounterexample,
+    SufficiencyCounterexample,
+    Valid,
+)
+from .tester import Verifier
+
+__all__ = [
+    "Verifier",
+    "Valid",
+    "VALID",
+    "CheckResult",
+    "SufficiencyCounterexample",
+    "InductivenessCounterexample",
+]

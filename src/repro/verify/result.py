@@ -1,0 +1,60 @@
+"""Result types shared by the verifier and the inductiveness checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..lang.values import Value
+
+__all__ = ["Valid", "VALID", "SufficiencyCounterexample", "InductivenessCounterexample", "CheckResult"]
+
+
+@dataclass(frozen=True)
+class Valid:
+    """The property being checked holds on every structure that was tested.
+
+    The verifier is a bounded enumerative tester (Section 4.3), so ``Valid``
+    means "no counterexample found within the bounds", not a proof.
+    """
+
+    def __bool__(self) -> bool:
+        return True
+
+
+#: Shared singleton instance.
+VALID = Valid()
+
+
+@dataclass(frozen=True)
+class SufficiencyCounterexample:
+    """A violation of ``Suf_phi_M[I]``: values of abstract type that satisfy
+    the candidate invariant but falsify the specification (the ``z`` of the
+    paper's Figure 2)."""
+
+    witnesses: Tuple[Value, ...]
+
+    def __bool__(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class InductivenessCounterexample:
+    """A failed conditional-inductiveness check ``v : tau |>_P^Q CEx <S, V>``.
+
+    ``inputs`` is the witness set S (abstract values supplied to the module,
+    all satisfying P); ``outputs`` is the witness set V (abstract values the
+    module produced that falsify Q).  ``operation`` names the module operation
+    whose application produced the counterexample, which the experiment
+    reports use for diagnostics.
+    """
+
+    operation: str
+    inputs: Tuple[Value, ...]
+    outputs: Tuple[Value, ...]
+
+    def __bool__(self) -> bool:
+        return False
+
+
+CheckResult = Union[Valid, SufficiencyCounterexample, InductivenessCounterexample]

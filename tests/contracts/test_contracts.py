@@ -1,0 +1,80 @@
+"""Unit tests for first-order collection and higher-order contracts."""
+
+import pytest
+
+from repro.contracts.firstorder import collect_abstract
+from repro.contracts.higherorder import ContractLog, wrap_function
+from repro.lang.types import TAbstract, TArrow, TData, TProd
+from repro.lang.values import VNative, VTuple, nat_of_int, v_list
+from repro.suite.registry import get_benchmark
+
+ABSTRACT = TAbstract()
+NAT = TData("nat")
+
+
+def test_collect_at_abstract_position_returns_value():
+    value = v_list([nat_of_int(1)])
+    assert collect_abstract(value, ABSTRACT) == [value]
+
+
+def test_collect_at_base_type_returns_nothing():
+    assert collect_abstract(nat_of_int(3), NAT) == []
+
+
+def test_collect_walks_products_left_to_right():
+    left = v_list([nat_of_int(1)])
+    right = v_list([])
+    value = VTuple((left, nat_of_int(0), right))
+    interface = TProd((ABSTRACT, NAT, ABSTRACT))
+    assert collect_abstract(value, interface) == [left, right]
+
+
+def test_collect_product_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        collect_abstract(nat_of_int(1), TProd((ABSTRACT, NAT)))
+
+
+def test_collect_ignores_functional_positions():
+    fn = VNative(lambda v: v, name="id")
+    assert collect_abstract(fn, TArrow(NAT, NAT)) == []
+
+
+def test_wrap_function_without_abstract_type_is_identity():
+    instance = get_benchmark("/coq/unique-list-::-set").instantiate()
+    log = ContractLog()
+    fn = instance.program.global_value("succ")
+    wrapped = wrap_function(fn, TArrow(NAT, NAT), instance.program, log)
+    assert wrapped is fn
+
+
+def test_wrap_function_logs_boundary_crossings():
+    """A fold-style argument ``nat -> t -> t``: the module passes abstract
+    values in (module->client) and receives abstract results (client->module)."""
+    instance = get_benchmark("/coq/unique-list-::-set").instantiate()
+    program = instance.program
+    log = ContractLog()
+
+    # The client function inserts its first argument into its second.
+    insert = program.global_value("insert")
+
+    def client(i):
+        return VNative(lambda s: program.apply(insert, s, i), name="insert-flip")
+
+    fn = VNative(client, name="client")
+    interface = TArrow(NAT, TArrow(ABSTRACT, ABSTRACT))
+    wrapped = wrap_function(fn, interface, program, log)
+
+    argument = v_list([nat_of_int(2)])
+    inner = program.apply(wrapped, nat_of_int(1))
+    result = program.apply(inner, argument)
+
+    assert log.module_to_client == [argument]
+    assert log.client_to_module == [result]
+
+
+def test_contract_log_clear():
+    log = ContractLog()
+    log.module_to_client.append(nat_of_int(1))
+    log.client_to_module.append(nat_of_int(2))
+    log.clear()
+    assert log.module_to_client == [] and log.client_to_module == []

@@ -1,0 +1,72 @@
+"""Tests for the experiment harnesses (runner, Figure 7, Figure 8, Figure 5)."""
+
+import pytest
+
+from repro.core.config import FAST_VERIFIER_BOUNDS, HanoiConfig
+from repro.experiments.figure5 import run_figure5, trace_lines
+from repro.experiments.figure7 import HEADERS, figure7_rows, run_figure7
+from repro.experiments.figure8 import completion_series, mode_summary, run_figure8
+from repro.experiments.report import format_seconds, format_table, rows_to_csv
+from repro.experiments.runner import FIGURE8_MODES, MODES, PROFILES, quick_config, run_benchmark
+
+CONFIG = HanoiConfig(verifier_bounds=FAST_VERIFIER_BOUNDS, timeout_seconds=60)
+SMALL = ["/coq/unique-list-::-set", "/other/sized-list"]
+
+
+def test_modes_and_profiles_registered():
+    assert set(FIGURE8_MODES) <= set(MODES)
+    assert "hanoi-fold" in MODES
+    assert set(PROFILES) == {"quick", "paper"}
+    assert quick_config(30).timeout_seconds == 30
+    paper = PROFILES["paper"](None)
+    assert paper.verifier_bounds.max_structures_single == 3000
+
+
+def test_run_benchmark_rejects_unknown_mode():
+    with pytest.raises(KeyError):
+        run_benchmark("/coq/unique-list-::-set", mode="not-a-mode", config=CONFIG)
+
+
+def test_figure7_rows_have_all_columns():
+    results = run_figure7(SMALL, config=CONFIG)
+    rows = figure7_rows(results)
+    assert len(rows) == len(SMALL)
+    assert all(len(row) == len(HEADERS) for row in rows)
+    # The motivating example solves, so its Size column is an integer.
+    assert isinstance(rows[0][3], int)
+    table = format_table(HEADERS, rows)
+    assert "/coq/unique-list-::-set" in table
+    csv_text = rows_to_csv(HEADERS, rows)
+    assert csv_text.splitlines()[0].startswith("Name,")
+
+
+def test_figure8_summary_and_series():
+    results = run_figure8(["/coq/unique-list-::-set"],
+                          modes=["hanoi", "conj-str", "oneshot"], config=CONFIG)
+    summary = {row[0]: row for row in mode_summary(results)}
+    assert summary["hanoi"][1] == 1  # solved
+    series = completion_series(results)
+    assert len(series["hanoi"]) == 1
+    assert series["hanoi"][0] > 0
+    # Hanoi solves at least as many benchmarks as each baseline.
+    for mode in ("conj-str", "oneshot"):
+        assert summary["hanoi"][1] >= summary[mode][1]
+
+
+def test_figure5_traces_show_caching_savings():
+    results = run_figure5(config=CONFIG)
+    assert set(results) == {"hanoi", "hanoi-clc"}
+    assert all(r.succeeded for r in results.values())
+    with_cache = results["hanoi"]
+    without_cache = results["hanoi-clc"]
+    assert with_cache.stats.verification_calls <= without_cache.stats.verification_calls
+    lines = trace_lines(with_cache)
+    assert any("candidate" in line for line in lines)
+    assert any("success" in line for line in lines)
+
+
+def test_report_formatting_helpers():
+    assert format_seconds(None) == "t/o"
+    assert format_seconds(1.234) == "1.2"
+    table = format_table(["A", "B"], [[1, None], ["xy", 2.5]])
+    assert "t/o" in table and "2.50" in table

@@ -1,0 +1,67 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "EOF"]
+
+
+def test_keywords_and_identifiers():
+    tokens = tokenize("let rec foo (x : nat) = Bar x")
+    assert [t.kind for t in tokens[:4]] == ["KEYWORD", "KEYWORD", "LIDENT", "LPAREN"]
+    assert tokens[2].text == "foo"
+    ctor = [t for t in tokens if t.kind == "UIDENT"]
+    assert [t.text for t in ctor] == ["Bar"]
+
+
+def test_arrow_and_punctuation():
+    assert kinds("( ) , | * -> = : _")[:-1] == [
+        "LPAREN", "RPAREN", "COMMA", "BAR", "STAR", "ARROW", "EQUAL", "COLON", "UNDERSCORE",
+    ]
+
+
+def test_integer_literals():
+    tokens = tokenize("foo 42 0")
+    ints = [t for t in tokens if t.kind == "INT"]
+    assert [t.text for t in ints] == ["42", "0"]
+
+
+def test_underscore_prefixed_identifier_is_identifier():
+    tokens = tokenize("_private")
+    assert tokens[0].kind == "LIDENT"
+    assert tokens[0].text == "_private"
+
+
+def test_comments_are_skipped_and_nest():
+    source = "let (* outer (* inner *) still outer *) x = O"
+    assert texts(source) == ["let", "x", "=", "O"]
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("let x = (* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("let x = $")
+
+
+def test_positions_are_tracked():
+    tokens = tokenize("let\n  foo = O")
+    foo = next(t for t in tokens if t.text == "foo")
+    assert foo.line == 2
+    assert foo.column == 3
+
+
+def test_primes_allowed_in_identifiers():
+    tokens = tokenize("x' foo'bar")
+    assert [t.text for t in tokens if t.kind == "LIDENT"] == ["x'", "foo'bar"]

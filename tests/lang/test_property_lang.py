@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the object-language substrate.
+
+These check executable versions of the algebraic facts the rest of the system
+relies on: conversions between Python data and prelude values are inverses,
+prelude arithmetic agrees with Python arithmetic, structural equality of
+values is consistent with hashing, and the evaluator is deterministic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.program import Program
+from repro.lang.values import (
+    bool_of_value,
+    int_of_nat,
+    nat_of_int,
+    v_list,
+    list_of_value,
+    value_size,
+)
+
+_PROGRAM = Program.from_source("")
+
+small_nats = st.integers(min_value=0, max_value=40)
+tiny_nats = st.integers(min_value=0, max_value=12)
+nat_lists = st.lists(st.integers(min_value=0, max_value=6), max_size=6)
+
+
+@given(small_nats)
+def test_nat_roundtrip(n):
+    assert int_of_nat(nat_of_int(n)) == n
+
+
+@given(small_nats)
+def test_nat_size_is_value_plus_one(n):
+    assert value_size(nat_of_int(n)) == n + 1
+
+
+@given(nat_lists)
+def test_list_roundtrip(xs):
+    values = [nat_of_int(x) for x in xs]
+    assert list_of_value(v_list(values)) == values
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_nats, tiny_nats)
+def test_plus_agrees_with_python(a, b):
+    result = _PROGRAM.call("plus", nat_of_int(a), nat_of_int(b))
+    assert int_of_nat(result) == a + b
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_nats, tiny_nats)
+def test_minus_is_truncated_subtraction(a, b):
+    result = _PROGRAM.call("minus", nat_of_int(a), nat_of_int(b))
+    assert int_of_nat(result) == max(0, a - b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_nats, tiny_nats)
+def test_comparisons_agree_with_python(a, b):
+    leq = bool_of_value(_PROGRAM.call("nat_leq", nat_of_int(a), nat_of_int(b)))
+    lt = bool_of_value(_PROGRAM.call("nat_lt", nat_of_int(a), nat_of_int(b)))
+    eq = bool_of_value(_PROGRAM.call("nat_eq", nat_of_int(a), nat_of_int(b)))
+    assert leq == (a <= b)
+    assert lt == (a < b)
+    assert eq == (a == b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tiny_nats, tiny_nats)
+def test_max_min_agree_with_python(a, b):
+    assert int_of_nat(_PROGRAM.call("nat_max", nat_of_int(a), nat_of_int(b))) == max(a, b)
+    assert int_of_nat(_PROGRAM.call("nat_min", nat_of_int(a), nat_of_int(b))) == min(a, b)
+
+
+@given(nat_lists)
+def test_structural_equality_consistent_with_hash(xs):
+    left = v_list([nat_of_int(x) for x in xs])
+    right = v_list([nat_of_int(x) for x in xs])
+    assert left == right
+    assert hash(left) == hash(right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tiny_nats, tiny_nats)
+def test_evaluation_is_deterministic(a, b):
+    first = _PROGRAM.call("plus", nat_of_int(a), nat_of_int(b))
+    second = _PROGRAM.call("plus", nat_of_int(a), nat_of_int(b))
+    assert first == second

@@ -1,0 +1,116 @@
+"""Unit tests for the type checker."""
+
+import pytest
+
+from repro.lang.errors import TypeError_
+from repro.lang.parser import parse_program
+from repro.lang.prelude import PRELUDE_SOURCE
+from repro.lang.typecheck import TypeChecker
+from repro.lang.types import TArrow, TData, TProd
+
+
+def check(source, with_prelude=True):
+    checker = TypeChecker()
+    if with_prelude:
+        checker.check_declarations(parse_program(PRELUDE_SOURCE))
+    return checker.check_declarations(parse_program(source))
+
+
+def test_prelude_typechecks():
+    env = check("", with_prelude=True)
+    assert env.globals["plus"] == TArrow(TData("nat"), TArrow(TData("nat"), TData("nat")))
+    assert env.globals["notb"] == TArrow(TData("bool"), TData("bool"))
+
+
+def test_function_type_recorded():
+    env = check("""
+type list = Nil | Cons of nat * list
+let rec length (l : list) : nat =
+  match l with
+  | Nil -> O
+  | Cons (hd, tl) -> S (length tl)
+""")
+    assert env.globals["length"] == TArrow(TData("list"), TData("nat"))
+
+
+def test_branch_type_mismatch_rejected():
+    with pytest.raises(TypeError_):
+        check("""
+let bad (b : bool) : bool =
+  match b with
+  | True -> O
+  | False -> False
+""")
+
+
+def test_recursive_function_requires_annotation():
+    with pytest.raises(TypeError_):
+        check("let rec loop (n : nat) = loop n")
+
+
+def test_constructor_payload_mismatch_rejected():
+    with pytest.raises(TypeError_):
+        check("let x : nat = S True")
+
+
+def test_unknown_constructor_rejected():
+    with pytest.raises(TypeError_):
+        check("let x : nat = Foo")
+
+
+def test_unbound_variable_rejected():
+    with pytest.raises(TypeError_):
+        check("let x : nat = y")
+
+
+def test_application_argument_mismatch_rejected():
+    with pytest.raises(TypeError_):
+        check("let x : nat = plus O True")
+
+
+def test_duplicate_type_declaration_rejected():
+    with pytest.raises(TypeError_):
+        check("type bool = T | F")
+
+
+def test_duplicate_constructor_rejected():
+    with pytest.raises(TypeError_):
+        check("type other = True | Maybe")
+
+
+def test_pattern_constructor_of_wrong_type_rejected():
+    with pytest.raises(TypeError_):
+        check("""
+let bad (n : nat) : bool =
+  match n with
+  | True -> False
+  | False -> True
+""")
+
+
+def test_tuple_pattern_arity_checked():
+    with pytest.raises(TypeError_):
+        check("""
+type pairlist = PNil | PCons of nat * nat
+let bad (p : pairlist) : nat =
+  match p with
+  | PNil -> O
+  | PCons (a, b, c) -> a
+""")
+
+
+def test_annotated_return_type_checked():
+    with pytest.raises(TypeError_):
+        check("let f (n : nat) : bool = n")
+
+
+def test_product_and_nested_match():
+    env = check("""
+type list = Nil | Cons of nat * list
+let swap (p : nat * list) : list * nat =
+  match p with
+  | (n, l) -> (l, n)
+""")
+    assert env.globals["swap"] == TArrow(
+        TProd((TData("nat"), TData("list"))), TProd((TData("list"), TData("nat")))
+    )

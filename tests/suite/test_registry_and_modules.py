@@ -1,0 +1,151 @@
+"""Tests for the benchmark registry and the behaviour of the benchmark modules."""
+
+import pytest
+
+from repro.lang.types import mentions_abstract
+from repro.lang.values import bool_of_value, int_of_nat, nat_of_int, v_list, VCtor, VTuple
+from repro.suite.registry import (
+    BENCHMARKS,
+    FAST_BENCHMARKS,
+    GROUPS,
+    PAPER_RESULTS,
+    all_benchmark_names,
+    benchmarks_in_group,
+    fast_benchmarks,
+    get_benchmark,
+)
+
+
+def test_registry_has_28_benchmarks_with_paper_group_sizes():
+    assert len(BENCHMARKS) == 28
+    assert len(GROUPS["vfa"]) == 5
+    assert len(GROUPS["vfa-extended"]) == 3
+    assert len(GROUPS["coq"]) == 14
+    assert len(GROUPS["other"]) == 6
+    assert set(PAPER_RESULTS) == set(BENCHMARKS)
+    assert set(FAST_BENCHMARKS) <= set(BENCHMARKS)
+
+
+def test_unknown_names_rejected():
+    with pytest.raises(KeyError):
+        get_benchmark("/no/such-benchmark")
+    with pytest.raises(KeyError):
+        benchmarks_in_group("unknown-group")
+
+
+def test_factories_return_fresh_definitions():
+    a = get_benchmark("/coq/unique-list-::-set")
+    b = get_benchmark("/coq/unique-list-::-set")
+    assert a is not b and a.name == b.name
+
+
+def test_paper_results_record_22_solved():
+    solved = [name for name, size in PAPER_RESULTS.items() if size is not None]
+    assert len(solved) == 22
+
+
+@pytest.mark.parametrize("name", all_benchmark_names())
+def test_every_benchmark_instantiates_and_is_well_formed(name):
+    definition = get_benchmark(name)
+    instance = definition.instantiate()
+    # The spec function exists and has one argument per declared quantifier.
+    spec_type = instance.program.global_type(definition.spec_name)
+    from repro.lang.types import arrow_args, arrow_result, TData
+    assert len(list(arrow_args(spec_type))) == len(definition.spec_signature)
+    assert arrow_result(spec_type) == TData("bool")
+    # At least one operation produces abstract values (otherwise nothing is constructible).
+    assert any(op.produces_abstract for op in definition.operations)
+    # The spec quantifies over at least one abstract value.
+    assert any(mentions_abstract(t) for t in definition.spec_signature)
+
+
+@pytest.mark.parametrize("name", [n for n in all_benchmark_names()
+                                  if get_benchmark(n).expected_invariant is not None])
+def test_expected_invariants_parse_and_accept_empty_structure(name):
+    from repro.core.predicate import Predicate
+    definition = get_benchmark(name)
+    instance = definition.instantiate()
+    oracle = Predicate.from_source(definition.expected_invariant, instance.program)
+    # Find a "seed" operation that builds an abstract value from base-type
+    # inputs only (``empty``, or ``whole`` for the rational benchmark).
+    from repro.enumeration.values import ValueEnumerator
+    seed_op = next(
+        op for op in definition.operations
+        if op.produces_abstract and not any(mentions_abstract(t) for t in op.argument_types)
+    )
+    enumerator = ValueEnumerator(instance.program.types)
+    args = [enumerator.smallest(t, 1)[0] for t in seed_op.argument_types]
+    seed_value = (instance.program.apply(instance.operation_value(seed_op), *args)
+                  if args else instance.program.global_value(seed_op.name))
+    assert oracle(seed_value)
+
+
+def test_listset_module_behaviour(listset_instance):
+    program = listset_instance.program
+    empty = program.global_value("empty")
+    s = program.call("insert", program.call("insert", empty, nat_of_int(3)), nat_of_int(5))
+    assert bool_of_value(program.call("lookup", s, nat_of_int(3)))
+    assert not bool_of_value(program.call("lookup", s, nat_of_int(7)))
+    after = program.call("delete", s, nat_of_int(3))
+    assert not bool_of_value(program.call("lookup", after, nat_of_int(3)))
+
+
+def test_sorted_list_module_keeps_order():
+    instance = get_benchmark("/coq/sorted-list-::-set").instantiate()
+    program = instance.program
+    s = program.global_value("empty")
+    for x in (5, 1, 3, 1):
+        s = program.call("insert", s, nat_of_int(x))
+    from repro.lang.values import list_of_value
+    items = [int_of_nat(v) for v in list_of_value(s)]
+    assert items == sorted(set(items))
+
+
+def test_bst_module_behaviour():
+    instance = get_benchmark("/coq/bst-::-set*").instantiate()
+    program = instance.program
+    t = program.global_value("empty")
+    for x in (4, 2, 6, 2):
+        t = program.call("insert", t, nat_of_int(x))
+    assert bool_of_value(program.call("member", t, nat_of_int(6)))
+    t = program.call("delete", t, nat_of_int(4))
+    assert not bool_of_value(program.call("member", t, nat_of_int(4)))
+    assert bool_of_value(program.call("member", t, nat_of_int(2)))
+
+
+def test_priqueue_module_behaviour():
+    instance = get_benchmark("/vfa/tree-::-priqueue*").instantiate()
+    program = instance.program
+    q = program.global_value("empty")
+    for x in (3, 7, 1):
+        q = program.call("insert", q, nat_of_int(x))
+    assert int_of_nat(program.call("get_max", q)) == 7
+    q = program.call("delete_max", q)
+    assert int_of_nat(program.call("get_max", q)) == 3
+
+
+def test_trie_table_behaviour():
+    instance = get_benchmark("/vfa/trie-::-table").instantiate()
+    program = instance.program
+    key = VCtor("XO", VCtor("XI", VCtor("XH")))
+    other = VCtor("XH")
+    table = program.call("set", program.global_value("empty"), key, nat_of_int(5))
+    assert int_of_nat(program.call("get", table, key)) == 5
+    assert int_of_nat(program.call("get", table, other)) == 0
+
+
+def test_rational_module_behaviour():
+    instance = get_benchmark("/other/rational").instantiate()
+    program = instance.program
+    half = VTuple((nat_of_int(1), nat_of_int(2)))
+    one = program.call("whole", nat_of_int(1))
+    total = program.call("rat_add", half, one)
+    # 1/2 + 1/1 = 3/2
+    assert int_of_nat(program.call("numer", total)) == 3
+    assert int_of_nat(program.call("denom", total)) == 2
+
+
+def test_fast_benchmarks_helper_returns_definitions():
+    definitions = fast_benchmarks()
+    assert len(definitions) == len(FAST_BENCHMARKS)
+    assert all(d.name in FAST_BENCHMARKS for d in definitions)

@@ -1,0 +1,67 @@
+"""Unit and property tests for example oracles and trace completeness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.types import TData
+from repro.lang.values import nat_of_int, v_list
+from repro.suite.registry import get_benchmark
+from repro.synth.base import SynthesisFailure
+from repro.synth.examples import ExampleOracle, subvalues_at_type
+
+
+@pytest.fixture(scope="module")
+def listset():
+    return get_benchmark("/coq/unique-list-::-set").instantiate()
+
+
+def L(*ints):
+    return v_list([nat_of_int(i) for i in ints])
+
+
+def test_subvalues_of_list_are_its_suffixes(listset):
+    value = L(3, 1, 2)
+    subs = subvalues_at_type(value, TData("list"), TData("list"), listset.program.types)
+    assert len(subs) == 4  # [3;1;2], [1;2], [2], []
+    assert value in subs
+    assert L() in subs
+
+
+def test_oracle_maps_examples_and_pads_subvalues(listset):
+    oracle = ExampleOracle.build([L()], [L(1, 1)], TData("list"), listset.program.types)
+    assert oracle.expected(L()) is True
+    assert oracle.expected(L(1, 1)) is False
+    # Trace completeness: the sub-list [1] was added and defaults to false.
+    assert L(1) in oracle
+    assert oracle.expected(L(1)) is False
+
+
+def test_existing_entries_are_not_overridden_by_padding(listset):
+    oracle = ExampleOracle.build([L(), L(1)], [L(1, 1)], TData("list"), listset.program.types)
+    assert oracle.expected(L(1)) is True
+
+
+def test_overlapping_examples_rejected(listset):
+    with pytest.raises(SynthesisFailure):
+        ExampleOracle.build([L(1)], [L(1)], TData("list"), listset.program.types)
+
+
+def test_consistency_uses_original_examples_only(listset):
+    oracle = ExampleOracle.build([L()], [L(1, 1)], TData("list"), listset.program.types)
+    # A predicate wrong on the padded value [1] but right on the originals is
+    # still "consistent" (padding is internal to the synthesizer).
+    predicate = lambda v: v != L(1, 1)
+    assert oracle.consistent(predicate)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=3), max_size=4), min_size=1, max_size=4))
+def test_oracle_is_trace_complete(lists):
+    """Property: every sub-list (at the concrete type) of every example value
+    has an entry in the oracle."""
+    instance = get_benchmark("/coq/unique-list-::-set").instantiate()
+    values = [v_list([nat_of_int(i) for i in xs]) for xs in lists]
+    oracle = ExampleOracle.build(values, [], TData("list"), instance.program.types)
+    for value in values:
+        for sub in subvalues_at_type(value, TData("list"), TData("list"), instance.program.types):
+            assert sub in oracle

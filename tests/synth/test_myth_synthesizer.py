@@ -1,0 +1,138 @@
+"""Unit tests for the Myth-like synthesizer, the term pools, the result cache,
+and the fold-capable extension."""
+
+import pytest
+
+from repro.core.config import SynthesisBounds
+from repro.core.stats import InferenceStats
+from repro.lang.types import TData, arrow
+from repro.lang.values import nat_of_int, v_list, VCtor, VTuple
+from repro.suite.registry import get_benchmark
+from repro.synth.base import SynthesisFailure
+from repro.synth.bottomup import TermPool, TypedComponent
+from repro.synth.cache import SynthesisResultCache
+from repro.synth.folds import FoldSynthesizer
+from repro.synth.myth import MythSynthesizer
+
+
+def L(*ints):
+    return v_list([nat_of_int(i) for i in ints])
+
+
+@pytest.fixture(scope="module")
+def listset():
+    return get_benchmark("/coq/unique-list-::-set").instantiate()
+
+
+@pytest.fixture(scope="module")
+def synthesizer(listset):
+    return MythSynthesizer(listset)
+
+
+def test_no_examples_yields_trivial_candidate(synthesizer):
+    candidates = synthesizer.synthesize([], [])
+    assert candidates
+    first = candidates[0]
+    assert first(L()) and first(L(1, 1)) and first(L(2, 3))
+
+
+def test_candidates_are_consistent_with_examples(synthesizer):
+    positives = [L(), L(3), L(0)]
+    negatives = [L(1, 1), L(0, 0)]
+    for candidate in synthesizer.synthesize(positives, negatives):
+        assert all(candidate(p) for p in positives)
+        assert all(not candidate(n) for n in negatives)
+
+
+def test_recursive_no_duplicates_invariant_is_reachable(synthesizer):
+    """With enough examples the no-duplicates invariant (or an equivalent
+    predicate) is synthesized: it must reject duplicate lists it never saw."""
+    positives = [L(), L(0), L(1), L(2), L(1, 0), L(2, 1, 0)]
+    negatives = [L(1, 1), L(0, 0), L(2, 2), L(0, 1, 0), L(2, 0, 2)]
+    candidates = synthesizer.synthesize(positives, negatives)
+    best = candidates[0]
+    assert best(L(3, 2, 1))
+    assert not best(L(3, 3))
+
+
+def test_synthesis_failure_when_examples_overlap(synthesizer):
+    with pytest.raises(SynthesisFailure):
+        synthesizer.synthesize([L(1)], [L(1)])
+
+
+def test_stats_record_synthesis_calls(listset):
+    stats = InferenceStats()
+    synthesizer = MythSynthesizer(listset, stats=stats)
+    synthesizer.synthesize([L()], [L(1, 1)])
+    assert stats.synthesis_calls == 1
+    assert stats.synthesis_time > 0
+
+
+def test_product_concrete_type_synthesis():
+    """The sized-list benchmark has a product concrete type; the synthesizer
+    destructures it with a tuple pattern."""
+    definition = get_benchmark("/other/sized-list")
+    instance = definition.instantiate()
+    synthesizer = MythSynthesizer(instance)
+    good = [VTuple((nat_of_int(0), L())), VTuple((nat_of_int(1), L(2))), VTuple((nat_of_int(2), L(1, 0)))]
+    bad = [VTuple((nat_of_int(1), L())), VTuple((nat_of_int(0), L(1))),
+           VTuple((nat_of_int(2), L(5))), VTuple((nat_of_int(1), L(1, 2)))]
+    candidates = synthesizer.synthesize(good, bad)
+    best = candidates[0]
+    assert best(VTuple((nat_of_int(3), L(5, 4, 3))))
+    assert not best(VTuple((nat_of_int(2), L(9))))
+
+
+def test_term_pool_observational_equivalence(listset):
+    """Two terms with the same behaviour on the examples are deduplicated."""
+    program = listset.program
+    components = [
+        TypedComponent("nat_eq", program.global_type("nat_eq"), program.global_value("nat_eq")),
+        TypedComponent("andb", program.global_type("andb"), program.global_value("andb")),
+    ]
+    environments = [{"x": nat_of_int(0)}, {"x": nat_of_int(1)}]
+    pool = TermPool(program, components, [("x", TData("nat"))], environments, max_size=5)
+    bool_entries = pool.entries(TData("bool"))
+    vectors = [entry.vector for entry in bool_entries]
+    assert len(vectors) == len(set(vectors)), "behaviourally equal terms must be merged"
+
+
+def test_term_pool_respects_restrictions(listset):
+    program = listset.program
+    lookup = TypedComponent(
+        "lookup", program.global_type("lookup"), program.global_value("lookup"),
+        argument_restrictions=(frozenset({"tl"}), None),
+    )
+    environments = [
+        {"x": L(1, 1), "tl": L(1), "hd": nat_of_int(1)},
+        {"x": L(0), "tl": L(), "hd": nat_of_int(0)},
+    ]
+    pool = TermPool(program, [lookup], [("x", TData("list")), ("tl", TData("list")), ("hd", TData("nat"))],
+                    environments, max_size=5)
+    exprs = [str(e.expr) for e in pool.entries(TData("bool"))]
+    assert any("lookup tl" in text for text in exprs)
+    assert not any("lookup x" in text for text in exprs)
+
+
+def test_synthesis_result_cache_roundtrip(synthesizer):
+    cache = SynthesisResultCache()
+    candidates = synthesizer.synthesize([L()], [L(1, 1)])
+    cache.store(candidates)
+    assert len(cache) == len({c.decl for c in candidates})
+    hit = cache.lookup([L()], [L(1, 1)])
+    assert hit is not None
+    # An inconsistent query yields no cached candidate.
+    assert cache.lookup([L(1, 1)], [L()]) is None or not cache.lookup([L(1, 1)], [L()])(L())
+
+
+def test_fold_synthesizer_installs_derived_components():
+    definition = get_benchmark("/vfa/tree-::-priqueue*")
+    instance = definition.instantiate()
+    synthesizer = FoldSynthesizer(instance)
+    assert instance.program.has_global("fold_max")
+    assert "fold_max" in synthesizer.extra_components
+    leaf = VCtor("Leaf")
+    node = VCtor("Node", VTuple((leaf, nat_of_int(4), leaf)))
+    fold_max = instance.program.evaluator.globals["fold_max"]
+    assert instance.program.apply(fold_max, node) == nat_of_int(4)
+    assert instance.program.apply(fold_max, leaf) == nat_of_int(0)
