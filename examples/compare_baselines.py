@@ -7,9 +7,27 @@ summary - a miniature of the paper's Figure 8 comparison, whose qualitative
 shape (Hanoi solves the most with the fewest synthesis and verification
 calls; ∧Str and LA lag; OneShot almost always fails) should be visible even
 on this small subset.
+
+The sweep goes through the same shared machinery as ``python -m repro
+figure8``: the ``(benchmark, mode)`` tasks are expanded once, fanned out over
+a :class:`~repro.experiments.parallel.ParallelRunner` process pool, and every
+result is persisted to JSONL as it completes - so an interrupted run can be
+inspected (or re-rendered) with ``python -m repro report``.
 """
 
-from repro.experiments import FIGURE8_MODES, format_table, mode_summary, quick_config, run_figure8
+import os
+
+from repro.experiments import (
+    FIGURE8_MODES,
+    MODE_SUMMARY_HEADERS,
+    ParallelRunner,
+    ResultStore,
+    expand_tasks,
+    format_table,
+    group_by_mode,
+    mode_summary_rows,
+    quick_config,
+)
 
 BENCHMARKS = [
     "/coq/unique-list-::-set",
@@ -18,22 +36,28 @@ BENCHMARKS = [
     "/other/nat-nat-option-::-range",
 ]
 
+OUTPUT = "results/compare_baselines.jsonl"
+
 
 def main() -> None:
     config = quick_config(timeout_seconds=60)
+    tasks = expand_tasks(BENCHMARKS, modes=FIGURE8_MODES, config=config)
+    store = ResultStore(OUTPUT)
 
     def progress(result):
         print(f"  [{result.mode:17s}] {result.benchmark:40s} {result.status:18s} "
               f"synth={result.stats.synthesis_calls:3d} verify={result.stats.verification_calls:3d} "
               f"time={result.stats.total_time:5.1f}s")
 
-    results = run_figure8(BENCHMARKS, modes=FIGURE8_MODES, config=config, progress=progress)
+    jobs = os.cpu_count() or 1
+    print(f"running {len(tasks)} (benchmark, mode) tasks over {jobs} workers ...")
+    results = ParallelRunner(jobs=jobs).run(tasks, progress=progress, store=store)
 
     print("\nPer-mode summary:")
-    print(format_table(
-        ["Mode", "Solved", "Benchmarks", "Mean solve time (s)", "Total time (s)"],
-        mode_summary(results),
-    ))
+    print(format_table(MODE_SUMMARY_HEADERS, mode_summary_rows(group_by_mode(results))))
+
+    print(f"\nresults persisted to {store.path} "
+          f"(re-render any time with: python -m repro report {store.path})")
 
 
 if __name__ == "__main__":

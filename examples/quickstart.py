@@ -16,7 +16,8 @@ module in the object language, declaring its interface and specification, and
 running the inference loop.
 """
 
-from repro import HanoiConfig, ModuleDefinition, Operation, infer_invariant
+from repro import ModuleDefinition, Operation
+from repro.experiments import ResultStore, quick_config, run_module
 from repro.lang.types import TAbstract, TData, arrow
 
 LIST_SET_SOURCE = """
@@ -69,7 +70,9 @@ def build_list_set() -> ModuleDefinition:
 def main() -> None:
     module = build_list_set()
     print(f"Inferring a representation invariant for {module.name} ...")
-    result = infer_invariant(module, HanoiConfig(timeout_seconds=120))
+    # run_module is the same dispatch point `python -m repro run` goes through;
+    # hand-built modules and registered benchmarks take an identical path.
+    result = run_module(module, mode="hanoi", config=quick_config(120))
 
     print(f"\nstatus     : {result.status}")
     print(f"iterations : {result.iterations}")
@@ -81,6 +84,11 @@ def main() -> None:
           f"{result.stats.synthesis_calls} calls)")
     print("\ninferred invariant:\n")
     print(result.render_invariant())
+
+    store = ResultStore("results/quickstart.jsonl")
+    store.append(result)
+    print(f"\nresult persisted to {store.path} "
+          f"(re-render any time with: python -m repro report {store.path})")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,21 @@
-"""Setup shim.
+"""Packaging for the Hanoi reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` keeps working on environments whose setuptools/pip
-combination cannot build PEP 660 editable wheels offline (no ``wheel``
-package available).
+Plain ``setup.py`` metadata (no ``pyproject.toml``) so that ``pip install -e .``
+keeps working on offline environments whose setuptools/pip combination cannot
+build PEP 517/660 editable wheels (no ``wheel`` package available).  The
+package itself has no runtime dependencies beyond the standard library;
+development tools live in ``requirements-dev.txt``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="hanoi-repro",
+    version="1.0.0",
+    description="Reproduction of 'Data-Driven Inference of Representation "
+                "Invariants' (Miltner et al., PLDI 2020)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -1,0 +1,297 @@
+"""The ``python -m repro`` command-line interface.
+
+Four subcommands drive the reproduction:
+
+``run``
+    Execute a benchmark sweep - by default the fast subset under the Hanoi
+    mode - over a multiprocessing pool, persisting every result to JSONL as it
+    completes.  ``--resume`` skips ``(benchmark, mode)`` pairs already present
+    in the output file, so an interrupted sweep picks up where it left off.
+
+``list``
+    Enumerate the registered benchmarks (with group and the paper's reported
+    invariant size) and the available inference modes.
+
+``report``
+    Re-render the Figure-7-style tables (and optionally CSV) from a stored
+    JSONL file, without re-running anything.
+
+``figure8``
+    The full mode-comparison sweep of Figure 8: all six modes over the chosen
+    benchmarks, parallelised, followed by the per-mode summary table and the
+    cumulative completion series.
+
+Examples::
+
+    python -m repro run --jobs 4 --profile quick --output results.jsonl
+    python -m repro run --resume --output results.jsonl
+    python -m repro report results.jsonl --csv results.csv
+    python -m repro list
+    python -m repro figure8 --modes hanoi conj-str oneshot --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .core.result import InferenceResult
+from .experiments.figure8 import completion_series
+from .experiments.parallel import ParallelRunner
+from .experiments.report import (
+    FIGURE7_HEADERS,
+    MODE_SUMMARY_HEADERS,
+    figure7_rows,
+    format_table,
+    group_by_mode,
+    mode_summary_rows,
+    render_results,
+    rows_to_csv,
+)
+from .experiments.runner import (
+    FIGURE8_MODES,
+    MODE_DESCRIPTIONS,
+    MODES,
+    PROFILES,
+    execute_tasks,
+    expand_tasks,
+)
+from .experiments.store import ResultStore
+from .suite.registry import (
+    BENCHMARKS,
+    FAST_BENCHMARKS,
+    GROUPS,
+    PAPER_RESULTS,
+    all_benchmark_names,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser, default_output: str) -> None:
+    """Flags shared by the sweep-running subcommands (``run`` and ``figure8``)."""
+    parser.add_argument("--benchmarks", nargs="*", default=None, metavar="NAME",
+                        help="explicit benchmark names (see `python -m repro list`)")
+    parser.add_argument("--group", choices=sorted(GROUPS), default=None,
+                        help="run one benchmark group (vfa, vfa-extended, coq, other)")
+    parser.add_argument("--all", action="store_true",
+                        help="run all 28 benchmarks instead of the fast subset")
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="quick",
+                        help="verifier bounds / timeout profile (default: quick)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-task timeout in seconds (overrides the profile's)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all CPUs; 1 = serial in-process)")
+    parser.add_argument("--output", default=default_output, metavar="PATH",
+                        help=f"JSONL file results are appended to (default: {default_output})")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip (benchmark, mode) pairs already present in --output")
+    parser.add_argument("--retry-failed", action="store_true",
+                        help="with --resume, re-run pairs whose stored status is not "
+                             "success (e.g. after raising --timeout)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction harness for 'Data-Driven Inference of "
+                    "Representation Invariants' (Miltner et al., PLDI 2020).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run a benchmark sweep in parallel, persisting results to JSONL")
+    _add_sweep_arguments(run, default_output="results.jsonl")
+    run.add_argument("--modes", nargs="*", default=["hanoi"], metavar="MODE",
+                     help=f"modes to run (default: hanoi; known: {' '.join(sorted(MODES))})")
+    run.set_defaults(func=_cmd_run)
+
+    lst = subparsers.add_parser(
+        "list", help="list registered benchmarks and inference modes")
+    lst.add_argument("--benchmarks", action="store_true", help="list only benchmarks")
+    lst.add_argument("--modes", action="store_true", help="list only modes")
+    lst.set_defaults(func=_cmd_list)
+
+    report = subparsers.add_parser(
+        "report", help="render Figure-7-style tables from a stored JSONL file")
+    report.add_argument("results", metavar="RESULTS.jsonl",
+                        help="JSONL file written by `run` / `figure8`")
+    report.add_argument("--csv", default=None, metavar="PATH",
+                        help="also write the per-benchmark rows as CSV")
+    report.set_defaults(func=_cmd_report)
+
+    figure8 = subparsers.add_parser(
+        "figure8", help="the six-mode comparison sweep of the paper's Figure 8")
+    _add_sweep_arguments(figure8, default_output="figure8.jsonl")
+    figure8.add_argument("--modes", nargs="*", default=None, metavar="MODE",
+                         help=f"modes to compare (default: {' '.join(FIGURE8_MODES)})")
+    figure8.set_defaults(func=_cmd_figure8)
+
+    return parser
+
+
+# -- shared sweep machinery ------------------------------------------------------
+
+
+def _select_benchmarks(args: argparse.Namespace) -> List[str]:
+    if args.benchmarks:
+        unknown = [name for name in args.benchmarks if name not in BENCHMARKS]
+        if unknown:
+            raise SystemExit(f"unknown benchmark(s): {', '.join(unknown)} "
+                             f"(see `python -m repro list --benchmarks`)")
+        return list(args.benchmarks)
+    if args.group:
+        return list(GROUPS[args.group])
+    if args.all or args.profile == "paper":
+        return all_benchmark_names()
+    return list(FAST_BENCHMARKS)
+
+
+def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[InferenceResult]:
+    """Expand, filter (resume), execute, and persist one sweep; return the
+    result set recorded in the output store for this sweep's pairs."""
+    names = _select_benchmarks(args)
+    profile = PROFILES[args.profile]
+    # Only override the profile's timeout when one was given explicitly;
+    # profile() keeps the default (quick: 60 s, paper: 1800 s).
+    config = profile() if args.timeout is None else profile(args.timeout)
+    tasks = expand_tasks(names, modes=list(modes), config=config)
+    sweep_keys = {task.key for task in tasks}
+
+    store = ResultStore(args.output)
+    if args.resume:
+        if args.retry_failed:
+            completed = {(r.benchmark, r.mode) for r in store.load() if r.succeeded}
+        else:
+            completed = store.completed_pairs()
+        remaining = [task for task in tasks if task.key not in completed]
+        skipped = len(tasks) - len(remaining)
+        if skipped:
+            print(f"resume: skipping {skipped} completed pair(s) found in {args.output}")
+        tasks = remaining
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    print(f"running {len(tasks)} task(s) "
+          f"({len(names)} benchmark(s) x {len(modes)} mode(s)) "
+          f"with profile {args.profile!r}, {jobs} worker(s); "
+          f"results -> {args.output}")
+
+    def progress(result: InferenceResult) -> None:
+        size = result.invariant_size if result.invariant_size is not None else "-"
+        print(f"  [{result.mode:17s}] {result.benchmark:45s} {result.status:18s} "
+              f"size={size} time={result.stats.total_time:.1f}s", flush=True)
+
+    if tasks:
+        if jobs == 1:
+            execute_tasks(tasks, progress=progress, store=store)
+        else:
+            ParallelRunner(jobs=jobs).run(tasks, progress=progress, store=store)
+
+    # Report only this sweep's pairs: the store may also hold rows from
+    # earlier sweeps with different benchmarks/modes written to the same file.
+    return [result for result in store.load()
+            if (result.benchmark, result.mode) in sweep_keys]
+
+
+# -- subcommands -----------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if not args.modes:
+        raise SystemExit("--modes needs at least one mode (see `python -m repro list --modes`)")
+    for mode in args.modes:
+        if mode not in MODES:
+            raise SystemExit(f"unknown mode {mode!r} (see `python -m repro list --modes`)")
+    results = _run_sweep(args, modes=args.modes)
+    print()
+    print(render_results(results))
+    solved = sum(1 for r in results if r.succeeded)
+    print(f"solved {solved} / {len(results)}; results persisted to {args.output}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    show_benchmarks = args.benchmarks or not args.modes
+    show_modes = args.modes or not args.benchmarks
+
+    if show_benchmarks:
+        rows = []
+        for group, names in GROUPS.items():
+            for name in names:
+                paper = PAPER_RESULTS.get(name)
+                fast = "yes" if name in FAST_BENCHMARKS else ""
+                rows.append([name, group, paper, fast])
+        print(f"{len(BENCHMARKS)} benchmarks (Section 5.1); "
+              "'Paper' is Figure 7's invariant size, t/o = 30-minute timeout:")
+        print(format_table(["Name", "Group", "Paper", "Fast subset"], rows))
+    if show_benchmarks and show_modes:
+        print()
+    if show_modes:
+        print(f"{len(MODES)} modes:")
+        print(format_table(
+            ["Mode", "Figure 8", "Description"],
+            [[mode, "yes" if mode in FIGURE8_MODES else "", MODE_DESCRIPTIONS.get(mode, "")]
+             for mode in MODES]))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.results)
+    if not store.exists():
+        raise SystemExit(f"no such results file: {args.results}")
+    results = store.load()
+    if not results:
+        raise SystemExit(f"{args.results} contains no results")
+    print(render_results(results))
+    solved = sum(1 for r in results if r.succeeded)
+    print(f"solved {solved} / {len(results)} (from {args.results})")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(rows_to_csv(FIGURE7_HEADERS + ["Mode"],
+                                     [row + [result.mode] for row, result
+                                      in zip(figure7_rows(results), results)]))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    modes = args.modes if args.modes else list(FIGURE8_MODES)
+    for mode in modes:
+        if mode not in MODES:
+            raise SystemExit(f"unknown mode {mode!r} (see `python -m repro list --modes`)")
+    results = _run_sweep(args, modes=modes)
+    grouped = group_by_mode(results)
+    grouped = {mode: grouped.get(mode, []) for mode in modes}
+
+    print("\nPer-mode summary (Figure 8):")
+    print(format_table(MODE_SUMMARY_HEADERS, mode_summary_rows(grouped)))
+
+    print("\nCumulative completion series (seconds at which each solve lands):")
+    for mode, times in completion_series(grouped).items():
+        rendered = ", ".join(f"{t:.1f}" for t in times) or "(none)"
+        print(f"  {mode:18s}: {rendered}")
+    print(f"\nresults persisted to {args.output}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
+        print("\ninterrupted; completed results are persisted and resumable "
+              "with --resume", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); redirect the
+        # remaining output to devnull so the interpreter's shutdown flush
+        # does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -13,7 +13,7 @@ from .config import (
 from .hanoi import HanoiInference, infer_invariant
 from .module import ModuleDefinition, ModuleInstance, Operation
 from .predicate import Predicate, always_true
-from .result import InferenceResult, Status
+from .result import InferenceResult, Status, StoredInvariant
 from .stats import InferenceStats
 from .trace import CounterexampleTrace, TraceEntry
 
@@ -27,6 +27,7 @@ __all__ = [
     "always_true",
     "InferenceResult",
     "Status",
+    "StoredInvariant",
     "InferenceStats",
     "CounterexampleTrace",
     "TraceEntry",

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from .stats import InferenceStats
 
-__all__ = ["InferenceResult", "Status"]
+__all__ = ["InferenceResult", "Status", "StoredInvariant"]
 
 
 class Status:
@@ -30,6 +30,25 @@ class Status:
     #: The run ended without success for another reason (iteration cap,
     #: unsupported feature, or an invariant that failed post-hoc validation).
     FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class StoredInvariant:
+    """A deserialized invariant: its reported size and rendered source.
+
+    Live runs carry a full :class:`~repro.core.predicate.Predicate`; results
+    loaded back from a store only need the two facts the experiment tables
+    report, so this stand-in offers the same ``size`` / ``render()`` surface.
+    """
+
+    size: Optional[int]
+    rendered: str
+
+    def render(self) -> str:
+        return self.rendered
+
+    def __str__(self) -> str:
+        return self.rendered
 
 
 @dataclass
@@ -72,3 +91,49 @@ class InferenceResult:
         }
         row.update(self.stats.as_dict())
         return row
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary capturing the whole result.
+
+        This is the on-disk / cross-process representation used by the result
+        store and the parallel runner.  The invariant is stored as its size and
+        rendered source (the facts the tables report); :meth:`from_dict`
+        rebuilds it as a :class:`StoredInvariant`.
+        """
+        return {
+            "benchmark": self.benchmark,
+            "mode": self.mode,
+            "status": self.status,
+            "message": self.message,
+            "iterations": self.iterations,
+            "invariant": (
+                None
+                if self.invariant is None
+                else {"size": self.invariant_size, "rendered": self.render_invariant()}
+            ),
+            "stats": self.stats.to_dict(),
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InferenceResult":
+        """Rebuild a result persisted by :meth:`to_dict`."""
+        invariant_data = data.get("invariant")
+        invariant: Optional[object] = None
+        if invariant_data is not None:
+            invariant = StoredInvariant(
+                size=invariant_data.get("size"),
+                rendered=invariant_data.get("rendered", ""),
+            )
+        return cls(
+            benchmark=data["benchmark"],
+            mode=data["mode"],
+            status=data["status"],
+            invariant=invariant,
+            stats=InferenceStats.from_dict(data.get("stats", {})),
+            message=data.get("message", ""),
+            iterations=int(data.get("iterations", 0)),
+            events=list(data.get("events", [])),
+        )

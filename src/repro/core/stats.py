@@ -113,3 +113,42 @@ class InferenceStats:
             "candidates_proposed": self.candidates_proposed,
             "structures_tested": self.structures_tested,
         }
+
+    # -- serialization ----------------------------------------------------------
+
+    #: Counter fields persisted verbatim by :meth:`to_dict` / :meth:`from_dict`.
+    COUNTER_FIELDS = (
+        "verification_calls",
+        "verification_time",
+        "synthesis_calls",
+        "synthesis_time",
+        "synthesis_cache_hits",
+        "trace_replays",
+        "positives_added",
+        "negatives_added",
+        "candidates_proposed",
+        "structures_tested",
+    )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary from which :meth:`from_dict` rebuilds the stats.
+
+        Unlike :meth:`as_dict` (which reports derived quantities like ``mvt``),
+        this stores the raw counters plus the elapsed ``total_time``, so a
+        round-trip preserves every reported number exactly.
+        """
+        payload: Dict[str, object] = {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+        payload["total_time"] = self.total_time
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "InferenceStats":
+        """Rebuild stats persisted by :meth:`to_dict`.
+
+        The perf-counter anchors are re-based so that ``total_time`` reproduces
+        the stored elapsed time instead of measuring from deserialization.
+        """
+        stats = cls(**{name: data[name] for name in cls.COUNTER_FIELDS if name in data})
+        stats.started_at = 0.0
+        stats.finished_at = float(data.get("total_time", 0.0))
+        return stats

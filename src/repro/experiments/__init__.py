@@ -1,5 +1,12 @@
 """Experiment harnesses that regenerate the paper's tables and figures.
 
+* :mod:`repro.experiments.runner` - the shared task model (``ExperimentTask``,
+  ``expand_tasks``, ``execute_tasks``) and the serial execution path.
+* :mod:`repro.experiments.parallel` - the multiprocessing pool with hard
+  per-task timeouts (``ParallelRunner``).
+* :mod:`repro.experiments.store` - append-only JSONL persistence with resume
+  support (``ResultStore``).
+* :mod:`repro.experiments.report` - the Figure-7 / Figure-8 table rendering.
 * :mod:`repro.experiments.figure7` - the per-benchmark results table.
 * :mod:`repro.experiments.figure8` - benchmarks completed versus time per mode.
 * :mod:`repro.experiments.figure5` - counterexample-list-caching traces.
@@ -8,17 +15,52 @@
 from .figure5 import run_figure5, trace_lines
 from .figure7 import figure7_rows, run_figure7
 from .figure8 import completion_series, mode_summary, run_figure8
-from .report import format_table, rows_to_csv
-from .runner import FIGURE8_MODES, MODES, PROFILES, paper_config, quick_config, run_benchmark, run_many
+from .parallel import ParallelRunner
+from .report import (
+    FIGURE7_HEADERS,
+    MODE_SUMMARY_HEADERS,
+    format_table,
+    group_by_mode,
+    mode_summary_rows,
+    render_results,
+    rows_to_csv,
+)
+from .runner import (
+    FIGURE8_MODES,
+    MODE_DESCRIPTIONS,
+    MODES,
+    PROFILES,
+    ExperimentTask,
+    execute_task,
+    execute_tasks,
+    expand_tasks,
+    paper_config,
+    quick_config,
+    run_benchmark,
+    run_many,
+    run_module,
+)
+from .store import ResultStore
 
 __all__ = [
+    # task model and serial runner
+    "ExperimentTask",
+    "expand_tasks",
+    "execute_task",
+    "execute_tasks",
+    "run_module",
     "run_benchmark",
     "run_many",
     "MODES",
+    "MODE_DESCRIPTIONS",
     "FIGURE8_MODES",
     "PROFILES",
     "quick_config",
     "paper_config",
+    # parallel runner and persistence
+    "ParallelRunner",
+    "ResultStore",
+    # figures
     "run_figure7",
     "figure7_rows",
     "run_figure8",
@@ -26,6 +68,12 @@ __all__ = [
     "mode_summary",
     "run_figure5",
     "trace_lines",
+    # reporting
+    "FIGURE7_HEADERS",
+    "MODE_SUMMARY_HEADERS",
     "format_table",
     "rows_to_csv",
+    "group_by_mode",
+    "mode_summary_rows",
+    "render_results",
 ]

@@ -68,7 +68,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--profile", choices=sorted(PROFILES), default="quick")
     parser.add_argument("--benchmark", default=TRACE_BENCHMARK)
     args = parser.parse_args(argv)
-    config = PROFILES[args.profile](None)
+    config = PROFILES[args.profile]()
 
     results = run_figure5(config=config, benchmark=args.benchmark)
 

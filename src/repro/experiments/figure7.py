@@ -16,40 +16,15 @@ Run as a module::
 from __future__ import annotations
 
 import argparse
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.config import HanoiConfig
 from ..core.result import InferenceResult
-from ..suite.registry import FAST_BENCHMARKS, PAPER_RESULTS, all_benchmark_names
-from .report import format_table, rows_to_csv
+from ..suite.registry import FAST_BENCHMARKS, all_benchmark_names
+from .report import FIGURE7_HEADERS as HEADERS, figure7_rows, format_table, rows_to_csv
 from .runner import PROFILES, run_many
 
 __all__ = ["figure7_rows", "run_figure7", "main", "HEADERS"]
-
-HEADERS = ["Name", "Paper", "Status", "Size", "Time (s)", "TVT (s)", "TVC", "MVT (s)",
-           "TST (s)", "TSC", "MST (s)"]
-
-
-def figure7_rows(results: Iterable[InferenceResult]) -> List[List[object]]:
-    """Convert inference results into Figure-7 table rows."""
-    rows: List[List[object]] = []
-    for result in results:
-        stats = result.stats
-        paper_size = PAPER_RESULTS.get(result.benchmark, "?")
-        rows.append([
-            result.benchmark,
-            paper_size if paper_size is not None else None,
-            result.status,
-            result.invariant_size,
-            stats.total_time,
-            stats.verification_time,
-            stats.verification_calls,
-            stats.mean_verification_time,
-            stats.synthesis_time,
-            stats.synthesis_calls,
-            stats.mean_synthesis_time,
-        ])
-    return rows
 
 
 def run_figure7(names: Optional[Sequence[str]] = None,
@@ -79,7 +54,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         names = FAST_BENCHMARKS
 
-    config = PROFILES[args.profile](args.timeout)
+    profile = PROFILES[args.profile]
+    config = profile() if args.timeout is None else profile(args.timeout)
 
     results: List[InferenceResult] = []
 

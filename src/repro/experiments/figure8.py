@@ -18,13 +18,13 @@ Run as a module::
 from __future__ import annotations
 
 import argparse
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.config import HanoiConfig
 from ..core.result import InferenceResult
 from ..suite.registry import FAST_BENCHMARKS, all_benchmark_names
-from .report import format_table
-from .runner import FIGURE8_MODES, PROFILES, run_many
+from .report import MODE_SUMMARY_HEADERS, format_table, group_by_mode, mode_summary_rows
+from .runner import FIGURE8_MODES, PROFILES, execute_tasks, expand_tasks
 
 __all__ = ["run_figure8", "completion_series", "mode_summary", "main"]
 
@@ -32,14 +32,26 @@ __all__ = ["run_figure8", "completion_series", "mode_summary", "main"]
 def run_figure8(names: Optional[Sequence[str]] = None,
                 modes: Optional[Sequence[str]] = None,
                 config: Optional[HanoiConfig] = None,
-                progress=None) -> Dict[str, List[InferenceResult]]:
-    """Run every requested mode over the benchmark list."""
+                progress=None,
+                execute=None,
+                store=None) -> Dict[str, List[InferenceResult]]:
+    """Run every requested mode over the benchmark list.
+
+    ``execute`` lets callers swap the execution strategy: it receives the full
+    task list (plus ``progress``/``store`` keyword arguments) and returns the
+    results.  The default is the serial
+    :func:`~repro.experiments.runner.execute_tasks`; the CLI passes
+    :meth:`~repro.experiments.parallel.ParallelRunner.run` to fan the same
+    tasks out over a process pool.
+    """
     names = list(names if names is not None else FAST_BENCHMARKS)
     modes = list(modes if modes is not None else FIGURE8_MODES)
-    results: Dict[str, List[InferenceResult]] = {}
-    for mode in modes:
-        results[mode] = run_many(names, mode=mode, config=config, progress=progress)
-    return results
+    tasks = expand_tasks(names, modes=modes, config=config)
+    run = execute if execute is not None else execute_tasks
+    results = run(tasks, progress=progress, store=store)
+    grouped = group_by_mode(r for r in results if r is not None)
+    # Keep the requested mode order even if results complete out of order.
+    return {mode: grouped.get(mode, []) for mode in modes}
 
 
 def completion_series(results: Dict[str, List[InferenceResult]]) -> Dict[str, List[float]]:
@@ -57,13 +69,7 @@ def completion_series(results: Dict[str, List[InferenceResult]]) -> Dict[str, Li
 
 def mode_summary(results: Dict[str, List[InferenceResult]]) -> List[List[object]]:
     """Summary rows: mode, solved count, total benchmarks, mean/total solve time."""
-    rows: List[List[object]] = []
-    for mode, mode_results in results.items():
-        solved = [r for r in mode_results if r.succeeded]
-        total_time = sum(r.stats.total_time for r in mode_results)
-        mean_time = (sum(r.stats.total_time for r in solved) / len(solved)) if solved else None
-        rows.append([mode, len(solved), len(mode_results), mean_time, total_time])
-    return rows
+    return mode_summary_rows(results)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -83,7 +89,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = all_benchmark_names()
     else:
         names = FAST_BENCHMARKS
-    config = PROFILES[args.profile](args.timeout)
+    profile = PROFILES[args.profile]
+    config = profile() if args.timeout is None else profile(args.timeout)
 
     def progress(result: InferenceResult) -> None:
         print(f"  [{result.mode:17s}] {result.benchmark:45s} {result.status:18s} "
@@ -92,8 +99,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     results = run_figure8(names, modes=args.modes, config=config, progress=progress)
 
     print("\nPer-mode summary (Figure 8):")
-    print(format_table(["Mode", "Solved", "Benchmarks", "Mean solve time (s)", "Total time (s)"],
-                       mode_summary(results)))
+    print(format_table(MODE_SUMMARY_HEADERS, mode_summary(results)))
 
     print("\nCumulative completion series (seconds at which each solve lands):")
     for mode, times in completion_series(results).items():

@@ -1,0 +1,202 @@
+"""Parallel experiment execution: a process pool with hard per-task timeouts.
+
+The serial runner relies on the cooperative :class:`~repro.core.config.Deadline`
+polled inside the verifier and synthesizer hot loops.  That is usually enough,
+but a sweep at paper bounds cannot afford a single wedged worker (a pathological
+evaluation that never reaches a deadline check) stalling the whole run.  The
+:class:`ParallelRunner` therefore runs every
+:class:`~repro.experiments.runner.ExperimentTask` in its own worker process and
+enforces a wall-clock deadline *from the parent*: a worker that outlives its
+budget is terminated and its task recorded as a timeout, while the rest of the
+sweep continues unaffected.
+
+Results cross the process boundary as ``InferenceResult.to_dict()`` payloads -
+the same JSON-safe representation the result store persists - so workers never
+need to pickle live :class:`~repro.core.predicate.Predicate` closures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.result import InferenceResult, Status
+from ..core.stats import InferenceStats
+from .runner import ExperimentTask, execute_task, quick_config
+
+__all__ = ["ParallelRunner", "DEFAULT_TIMEOUT_GRACE"]
+
+#: Seconds granted beyond a task's cooperative timeout before the parent kills
+#: the worker: the cooperative deadline should fire first, the pool-level kill
+#: is the backstop for workers stuck somewhere that never polls it.
+DEFAULT_TIMEOUT_GRACE = 30.0
+
+
+def _result_payload(task: ExperimentTask, status: str, message: str,
+                    elapsed: float = 0.0) -> dict:
+    """A ``to_dict``-shaped payload for a task that produced no result itself."""
+    stats = InferenceStats()
+    stats.started_at = 0.0
+    stats.finished_at = elapsed
+    return InferenceResult(
+        benchmark=task.benchmark,
+        mode=task.mode,
+        status=status,
+        invariant=None,
+        stats=stats,
+        message=message,
+    ).to_dict()
+
+
+def _worker(task: ExperimentTask, conn) -> None:
+    """Worker entry point: run one task, send its dict payload, exit."""
+    try:
+        payload = execute_task(task).to_dict()
+    except BaseException as exc:  # noqa: BLE001 - report, don't crash silently
+        payload = _result_payload(task, Status.FAILURE, f"worker error: {exc!r}")
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _default_context():
+    """Prefer ``fork`` (workers inherit the loaded benchmark registry for
+    free); fall back to the platform default where fork is unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ParallelRunner:
+    """Fan ``(benchmark, mode)`` tasks out over a pool of worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; defaults to ``os.cpu_count()``.
+    task_timeout:
+        Hard wall-clock budget per task, in seconds.  When ``None`` the budget
+        is derived from each task's config: its cooperative
+        ``timeout_seconds`` plus :data:`DEFAULT_TIMEOUT_GRACE` (no hard budget
+        for configs without a timeout).
+    mp_context:
+        A ``multiprocessing`` context, for tests or platform overrides.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 task_timeout: Optional[float] = None,
+                 timeout_grace: float = DEFAULT_TIMEOUT_GRACE,
+                 mp_context=None,
+                 poll_interval: float = 0.05):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.task_timeout = task_timeout
+        self.timeout_grace = timeout_grace
+        self.poll_interval = poll_interval
+        self._ctx = mp_context if mp_context is not None else _default_context()
+
+    def _budget_for(self, task: ExperimentTask) -> Optional[float]:
+        if self.task_timeout is not None:
+            return self.task_timeout
+        # Tasks without an explicit config run under execute_task's
+        # quick_config() fallback; derive the backstop from the same default.
+        config = task.config if task.config is not None else quick_config()
+        if config.timeout_seconds is not None:
+            return config.timeout_seconds + self.timeout_grace
+        return None
+
+    def run(self, tasks: Sequence[ExperimentTask],
+            progress: Optional[Callable[[InferenceResult], None]] = None,
+            store=None) -> List[InferenceResult]:
+        """Run every task; return results in task order.
+
+        Results are appended to ``store`` and reported to ``progress`` in
+        *completion* order, the moment each worker finishes; the returned list
+        matches the input task order so callers can zip them.
+        """
+        tasks = list(tasks)
+        results: List[Optional[InferenceResult]] = [None] * len(tasks)
+        queue = deque(enumerate(tasks))
+        live: Dict[int, Tuple[object, object, float]] = {}
+
+        def finish(index: int, payload: dict) -> None:
+            result = InferenceResult.from_dict(payload)
+            results[index] = result
+            if store is not None:
+                store.append(result)
+            if progress is not None:
+                progress(result)
+
+        try:
+            while queue or live:
+                while queue and len(live) < self.jobs:
+                    index, task = queue.popleft()
+                    parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+                    process = self._ctx.Process(
+                        target=_worker, args=(task, child_conn), daemon=True)
+                    process.start()
+                    child_conn.close()
+                    live[index] = (process, parent_conn, time.monotonic())
+
+                # Sleep until some worker has output ready (or a short poll
+                # tick passes, so timeout enforcement stays responsive).
+                connection_wait([conn for _, conn, _ in live.values()],
+                                timeout=self.poll_interval)
+
+                for index in list(live):
+                    process, conn, started = live[index]
+                    task = tasks[index]
+                    elapsed = time.monotonic() - started
+
+                    if conn.poll():
+                        try:
+                            payload = conn.recv()
+                        except EOFError:
+                            payload = _result_payload(
+                                task, Status.FAILURE,
+                                "worker exited without reporting a result",
+                                elapsed)
+                        self._reap(live.pop(index))
+                        finish(index, payload)
+                        continue
+
+                    budget = self._budget_for(task)
+                    if budget is not None and elapsed > budget:
+                        process.terminate()
+                        self._reap(live.pop(index))
+                        finish(index, _result_payload(
+                            task, Status.TIMEOUT,
+                            f"killed by the pool after {elapsed:.1f}s "
+                            f"(hard budget {budget:.1f}s)",
+                            elapsed))
+                        continue
+
+                    if not process.is_alive():
+                        self._reap(live.pop(index))
+                        finish(index, _result_payload(
+                            task, Status.FAILURE,
+                            f"worker died with exit code {process.exitcode}",
+                            elapsed))
+        finally:
+            for process, conn, _ in live.values():
+                process.terminate()
+                self._reap((process, conn, 0.0))
+
+        return list(results)
+
+    @staticmethod
+    def _reap(entry) -> None:
+        process, conn, _ = entry
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - stubborn worker
+            process.kill()
+            process.join(timeout=5.0)

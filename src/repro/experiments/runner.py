@@ -24,8 +24,8 @@ paper's experimental setup).
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..baselines.conj_str import ConjunctiveStrengtheningInference
 from ..baselines.linear_arbitrary import LinearArbitraryInference
@@ -37,7 +37,20 @@ from ..core.result import InferenceResult
 from ..suite.registry import all_benchmark_names, get_benchmark
 from ..synth.folds import FoldSynthesizer
 
-__all__ = ["MODES", "PROFILES", "quick_config", "paper_config", "run_benchmark", "run_many"]
+__all__ = [
+    "MODES",
+    "MODE_DESCRIPTIONS",
+    "PROFILES",
+    "ExperimentTask",
+    "quick_config",
+    "paper_config",
+    "run_module",
+    "run_benchmark",
+    "run_many",
+    "expand_tasks",
+    "execute_task",
+    "execute_tasks",
+]
 
 
 def quick_config(timeout_seconds: Optional[float] = 60.0) -> HanoiConfig:
@@ -101,24 +114,107 @@ MODES: Dict[str, Callable[[ModuleDefinition, HanoiConfig], InferenceResult]] = {
 #: The six modes plotted in Figure 8, in the legend's order.
 FIGURE8_MODES = ["hanoi", "hanoi-src", "hanoi-clc", "conj-str", "linear-arbitrary", "oneshot"]
 
+#: One-line description per mode (the module docstring's table, programmatically;
+#: rendered by ``python -m repro list`` and docs/modes.md).
+MODE_DESCRIPTIONS: Dict[str, str] = {
+    "hanoi": "the full Hanoi tool (both Section 4.4 optimizations enabled)",
+    "hanoi-src": "Hanoi with synthesis result caching disabled (ablation)",
+    "hanoi-clc": "Hanoi with counterexample list caching disabled (ablation)",
+    "conj-str": "the ∧Str (LoopInvGen-style) conjunctive strengthening baseline",
+    "linear-arbitrary": "the LA (LinearArbitrary-style) decision-tree baseline",
+    "oneshot": "the OneShot baseline (single synthesis call, no CEGIS loop)",
+    "hanoi-fold": "Hanoi with the fold-capable prototype synthesizer (Section 5.4)",
+}
+
+
+def run_module(definition: ModuleDefinition, mode: str = "hanoi",
+               config: Optional[HanoiConfig] = None) -> InferenceResult:
+    """Run one module definition (registered or hand-built) under one mode.
+
+    This is the single dispatch point every harness goes through: the serial
+    runner, the parallel runner's workers, the pytest-benchmark harnesses, and
+    the examples all end up here.
+    """
+    if mode not in MODES:
+        raise KeyError(f"unknown mode {mode!r}; known: {sorted(MODES)}")
+    return MODES[mode](definition, config or quick_config())
+
+
+# -- the shared task model ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One unit of experiment work: a ``(benchmark, mode)`` pair plus config.
+
+    Tasks are immutable, hashable, and picklable, so the same objects flow
+    through the serial runner, the multiprocessing pool, and the result store's
+    resume bookkeeping.
+    """
+
+    benchmark: str
+    mode: str = "hanoi"
+    config: Optional[HanoiConfig] = None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The identity used for resume bookkeeping: ``(benchmark, mode)``."""
+        return (self.benchmark, self.mode)
+
+
+def expand_tasks(names: Optional[Iterable[str]] = None,
+                 modes: Union[str, Sequence[str]] = "hanoi",
+                 config: Optional[HanoiConfig] = None) -> List[ExperimentTask]:
+    """The full task list of a sweep: every benchmark under every mode.
+
+    Modes vary in the outer loop (matching how Figure 8 is collected: one mode
+    finishes its pass over the suite before the next starts), benchmarks in the
+    inner loop, so serial and parallel sweeps enumerate identically.
+    """
+    names = list(names if names is not None else all_benchmark_names())
+    mode_list = [modes] if isinstance(modes, str) else list(modes)
+    for mode in mode_list:
+        if mode not in MODES:
+            raise KeyError(f"unknown mode {mode!r}; known: {sorted(MODES)}")
+    return [ExperimentTask(benchmark=name, mode=mode, config=config)
+            for mode in mode_list for name in names]
+
+
+def execute_task(task: ExperimentTask) -> InferenceResult:
+    """Run one task to completion in the current process."""
+    return run_module(get_benchmark(task.benchmark), mode=task.mode, config=task.config)
+
+
+def execute_tasks(tasks: Sequence[ExperimentTask],
+                  progress: Optional[Callable[[InferenceResult], None]] = None,
+                  store=None) -> List[InferenceResult]:
+    """Run tasks serially, reporting and persisting each result as it lands.
+
+    ``store`` is any object with an ``append(result)`` method (duck-typed so
+    this module does not import :mod:`repro.experiments.store`); the parallel
+    runner offers the same signature for the same task lists.
+    """
+    results: List[InferenceResult] = []
+    for task in tasks:
+        result = execute_task(task)
+        results.append(result)
+        if store is not None:
+            store.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
 
 def run_benchmark(name: str, mode: str = "hanoi",
                   config: Optional[HanoiConfig] = None) -> InferenceResult:
     """Run one benchmark under one mode and return the result."""
-    if mode not in MODES:
-        raise KeyError(f"unknown mode {mode!r}; known: {sorted(MODES)}")
-    definition = get_benchmark(name)
-    return MODES[mode](definition, config or quick_config())
+    return execute_task(ExperimentTask(benchmark=name, mode=mode, config=config))
 
 
 def run_many(names: Optional[Iterable[str]] = None, mode: str = "hanoi",
              config: Optional[HanoiConfig] = None,
-             progress: Optional[Callable[[InferenceResult], None]] = None) -> List[InferenceResult]:
+             progress: Optional[Callable[[InferenceResult], None]] = None,
+             store=None) -> List[InferenceResult]:
     """Run a list of benchmarks (all of them by default) under one mode."""
-    results = []
-    for name in (names if names is not None else all_benchmark_names()):
-        result = run_benchmark(name, mode=mode, config=config)
-        results.append(result)
-        if progress is not None:
-            progress(result)
-    return results
+    return execute_tasks(expand_tasks(names, modes=mode, config=config),
+                         progress=progress, store=store)

@@ -1,0 +1,102 @@
+"""Tests for the parallel experiment runner and the CLI's resume path."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro import cli
+from repro.core.config import FAST_VERIFIER_BOUNDS, HanoiConfig
+from repro.core.result import Status
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import ExperimentTask, execute_tasks, expand_tasks
+from repro.experiments.store import ResultStore
+from repro.suite import registry
+
+CONFIG = HanoiConfig(verifier_bounds=FAST_VERIFIER_BOUNDS, timeout_seconds=60)
+SMALL = ["/coq/unique-list-::-set", "/other/sized-list"]
+
+
+def _has_fork() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def test_parallel_matches_serial_results():
+    tasks = expand_tasks(SMALL, modes=["hanoi"], config=CONFIG)
+    parallel = ParallelRunner(jobs=2).run(tasks)
+    serial = execute_tasks(tasks)
+
+    assert len(parallel) == len(serial) == len(tasks)
+    for par, ser, task in zip(parallel, serial, tasks):
+        # Results come back in task order regardless of completion order.
+        assert (par.benchmark, par.mode) == task.key
+        assert par.status == ser.status == Status.SUCCESS
+        assert par.invariant_size == ser.invariant_size
+        assert par.iterations == ser.iterations
+        assert par.render_invariant() == ser.render_invariant()
+
+
+def test_parallel_reports_progress_and_persists(tmp_path):
+    tasks = expand_tasks(SMALL, modes=["hanoi"], config=CONFIG)
+    store = ResultStore(str(tmp_path / "sweep.jsonl"))
+    seen = []
+    ParallelRunner(jobs=2).run(tasks, progress=seen.append, store=store)
+    assert {(r.benchmark, r.mode) for r in seen} == {t.key for t in tasks}
+    assert store.completed_pairs() == {t.key for t in tasks}
+
+
+@pytest.mark.skipif(not _has_fork(), reason="hanging-benchmark fixture needs fork")
+def test_timeout_isolation_kills_hung_worker_without_stalling_sweep():
+    def hanging_factory():
+        time.sleep(300)
+
+    registry.BENCHMARKS["/test/hang"] = hanging_factory
+    try:
+        tasks = [ExperimentTask("/test/hang", "hanoi", CONFIG),
+                 ExperimentTask(SMALL[0], "hanoi", CONFIG)]
+        started = time.monotonic()
+        results = ParallelRunner(jobs=2, task_timeout=2.0).run(tasks)
+        elapsed = time.monotonic() - started
+    finally:
+        del registry.BENCHMARKS["/test/hang"]
+
+    assert results[0].status == Status.TIMEOUT
+    assert "killed by the pool" in results[0].message
+    # The healthy task completed normally alongside the hung one.
+    assert results[1].status == Status.SUCCESS
+    # The sweep did not wait out the hung worker's 300s sleep.
+    assert elapsed < 60
+
+
+def test_worker_crash_is_reported_not_fatal():
+    def crashing_factory():
+        raise RuntimeError("boom")
+
+    registry.BENCHMARKS["/test/crash"] = crashing_factory
+    try:
+        results = ParallelRunner(jobs=2).run(
+            [ExperimentTask("/test/crash", "hanoi", CONFIG),
+             ExperimentTask(SMALL[1], "hanoi", CONFIG)])
+    finally:
+        del registry.BENCHMARKS["/test/crash"]
+
+    assert results[0].status == Status.FAILURE
+    assert "boom" in results[0].message
+    assert results[1].status == Status.SUCCESS
+
+
+def test_cli_resume_skips_completed_pairs(tmp_path, capsys):
+    output = str(tmp_path / "results.jsonl")
+    argv = ["run", "--jobs", "2", "--profile", "quick", "--output", output,
+            "--benchmarks", *SMALL]
+
+    assert cli.main(argv) == 0
+    first = capsys.readouterr().out
+    assert f"running {len(SMALL)} task(s)" in first
+
+    assert cli.main(argv + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert f"resume: skipping {len(SMALL)} completed pair(s)" in second
+    assert "running 0 task(s)" in second
+    # The report still covers the full stored sweep.
+    assert all(name in second for name in SMALL)

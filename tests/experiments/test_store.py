@@ -1,0 +1,89 @@
+"""Tests for the JSONL result store (serialization round-trip, resume bookkeeping)."""
+
+import json
+
+import pytest
+
+from repro.core.config import FAST_VERIFIER_BOUNDS, HanoiConfig
+from repro.core.result import InferenceResult, Status, StoredInvariant
+from repro.core.stats import InferenceStats
+from repro.experiments.runner import run_benchmark
+from repro.experiments.store import ResultStore
+
+CONFIG = HanoiConfig(verifier_bounds=FAST_VERIFIER_BOUNDS, timeout_seconds=60)
+BENCHMARK = "/coq/unique-list-::-set"
+
+
+@pytest.fixture(scope="module")
+def solved_result() -> InferenceResult:
+    result = run_benchmark(BENCHMARK, mode="hanoi", config=CONFIG)
+    assert result.succeeded
+    return result
+
+
+def test_result_dict_round_trip_preserves_everything(solved_result):
+    payload = solved_result.to_dict()
+    # The payload must be pure JSON (this is what crosses process and disk
+    # boundaries).
+    restored = InferenceResult.from_dict(json.loads(json.dumps(payload)))
+
+    assert restored.benchmark == solved_result.benchmark
+    assert restored.mode == solved_result.mode
+    assert restored.status == Status.SUCCESS
+    assert restored.iterations == solved_result.iterations
+    assert restored.invariant_size == solved_result.invariant_size
+    assert restored.render_invariant() == solved_result.render_invariant()
+    assert isinstance(restored.invariant, StoredInvariant)
+    # Events survive verbatim (the Figure-5 traces are rendered from them).
+    assert restored.events == solved_result.events
+    # Every Figure-7 column survives exactly, including derived means.
+    assert restored.as_row() == solved_result.as_row()
+
+
+def test_stats_round_trip_freezes_total_time(solved_result):
+    stats = InferenceStats.from_dict(solved_result.stats.to_dict())
+    assert stats.total_time == pytest.approx(solved_result.stats.total_time)
+    assert stats.verification_calls == solved_result.stats.verification_calls
+    assert stats.mean_synthesis_time == pytest.approx(
+        solved_result.stats.mean_synthesis_time)
+    # A deserialized stats object is finished: total_time must not keep growing.
+    frozen = stats.total_time
+    assert stats.total_time == frozen
+
+
+def test_store_append_load_and_completed_pairs(tmp_path, solved_result):
+    store = ResultStore(str(tmp_path / "results.jsonl"))
+    assert not store.exists()
+    assert store.completed_pairs() == set()
+    assert store.load() == []
+
+    store.append(solved_result)
+    assert store.exists()
+    assert len(store) == 1
+    assert store.completed_pairs() == {(BENCHMARK, "hanoi")}
+
+    loaded = store.load()
+    assert len(loaded) == 1
+    assert loaded[0].as_row() == solved_result.as_row()
+
+
+def test_store_tolerates_truncated_trailing_line(tmp_path, solved_result):
+    path = tmp_path / "results.jsonl"
+    store = ResultStore(str(path))
+    store.append(solved_result)
+    # Simulate a sweep killed mid-append: a partial JSON line at the end.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"benchmark": "/other/rational", "mode": "han')
+    assert store.completed_pairs() == {(BENCHMARK, "hanoi")}
+    assert len(store.load()) == 1
+
+
+def test_store_later_entries_supersede_earlier_ones(tmp_path, solved_result):
+    store = ResultStore(str(tmp_path / "results.jsonl"))
+    store.append(solved_result)
+    rerun = InferenceResult.from_dict(solved_result.to_dict())
+    rerun.message = "second run"
+    store.append(rerun)
+    loaded = store.load()
+    assert len(loaded) == 1
+    assert loaded[0].message == "second run"
