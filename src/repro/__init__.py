@@ -36,6 +36,14 @@ from .core import (
     VerifierBounds,
     infer_invariant,
 )
+from .spec import (
+    SpecFileError,
+    load_module_file,
+    load_module_text,
+    load_pack,
+    register_pack,
+    render_module,
+)
 from .suite import (
     BENCHMARKS,
     FAST_BENCHMARKS,
@@ -73,6 +81,13 @@ __all__ = [
     "ConjunctiveStrengtheningInference",
     "LinearArbitraryInference",
     "OneShotInference",
+    # benchmark definition files (.hanoi)
+    "SpecFileError",
+    "load_module_file",
+    "load_module_text",
+    "render_module",
+    "load_pack",
+    "register_pack",
     # suite
     "BENCHMARKS",
     "FAST_BENCHMARKS",

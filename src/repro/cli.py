@@ -1,16 +1,27 @@
 """The ``python -m repro`` command-line interface.
 
-Four subcommands drive the reproduction:
+Six subcommands drive the reproduction:
 
 ``run``
     Execute a benchmark sweep - by default the fast subset under the Hanoi
     mode - over a multiprocessing pool, persisting every result to JSONL as it
     completes.  ``--resume`` skips ``(benchmark, mode)`` pairs already present
     in the output file, so an interrupted sweep picks up where it left off.
+    ``--pack DIR`` registers a directory of ``.hanoi`` benchmark definition
+    files first and tags the stored results with the pack name.
 
 ``list``
     Enumerate the registered benchmarks (with group and the paper's reported
-    invariant size) and the available inference modes.
+    invariant size) and the available inference modes; ``--group`` / ``--fast``
+    filter the benchmark table, ``--pack DIR`` includes a benchmark pack.
+
+``infer``
+    Load one ``.hanoi`` benchmark definition file and run invariant inference
+    on it, printing the inferred invariant.
+
+``export``
+    Render registered benchmarks (all 28 by default) as ``.hanoi`` files, one
+    per benchmark, so they can be edited and re-run as user scenarios.
 
 ``report``
     Re-render the Figure-7-style tables (and optionally CSV) from a stored
@@ -24,9 +35,11 @@ Four subcommands drive the reproduction:
 Examples::
 
     python -m repro run --jobs 4 --profile quick --output results.jsonl
-    python -m repro run --resume --output results.jsonl
+    python -m repro run --pack my-modules/ --output pack-results.jsonl
+    python -m repro infer examples/modules/bounded-stack.hanoi
+    python -m repro export --out exported/
     python -m repro report results.jsonl --csv results.csv
-    python -m repro list
+    python -m repro list --group coq --fast
     python -m repro figure8 --modes hanoi conj-str oneshot --jobs 8
 """
 
@@ -59,6 +72,7 @@ from .experiments.runner import (
     expand_tasks,
 )
 from .experiments.store import ResultStore
+from .spec.errors import SpecFileError
 from .suite.registry import (
     BENCHMARKS,
     FAST_BENCHMARKS,
@@ -74,10 +88,14 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser, default_output: str) -
     """Flags shared by the sweep-running subcommands (``run`` and ``figure8``)."""
     parser.add_argument("--benchmarks", nargs="*", default=None, metavar="NAME",
                         help="explicit benchmark names (see `python -m repro list`)")
-    parser.add_argument("--group", choices=sorted(GROUPS), default=None,
-                        help="run one benchmark group (vfa, vfa-extended, coq, other)")
+    parser.add_argument("--group", default=None, metavar="GROUP",
+                        help="run one benchmark group (vfa, vfa-extended, coq, "
+                             "other, or a pack's group)")
     parser.add_argument("--all", action="store_true",
-                        help="run all 28 benchmarks instead of the fast subset")
+                        help="run all registered benchmarks instead of the fast subset")
+    parser.add_argument("--pack", default=None, metavar="DIR",
+                        help="register a directory of .hanoi benchmark definition "
+                             "files; without other selectors, runs that pack")
     parser.add_argument("--profile", choices=sorted(PROFILES), default="quick",
                         help="verifier bounds / timeout profile (default: quick)")
     parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -112,7 +130,34 @@ def build_parser() -> argparse.ArgumentParser:
         "list", help="list registered benchmarks and inference modes")
     lst.add_argument("--benchmarks", action="store_true", help="list only benchmarks")
     lst.add_argument("--modes", action="store_true", help="list only modes")
+    lst.add_argument("--group", default=None, metavar="GROUP",
+                     help="only benchmarks of one group")
+    lst.add_argument("--fast", action="store_true",
+                     help="only benchmarks of the fast (CI) subset")
+    lst.add_argument("--pack", default=None, metavar="DIR",
+                     help="also list a .hanoi benchmark pack's entries")
     lst.set_defaults(func=_cmd_list)
+
+    infer = subparsers.add_parser(
+        "infer", help="run invariant inference on one .hanoi definition file")
+    infer.add_argument("file", metavar="FILE.hanoi",
+                       help="benchmark definition file (see docs/format.md)")
+    infer.add_argument("--mode", choices=sorted(MODES), default="hanoi",
+                       help="inference mode (default: hanoi)")
+    infer.add_argument("--profile", choices=sorted(PROFILES), default="quick",
+                       help="verifier bounds / timeout profile (default: quick)")
+    infer.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="timeout in seconds (overrides the profile's)")
+    infer.set_defaults(func=_cmd_infer)
+
+    export = subparsers.add_parser(
+        "export", help="render registered benchmarks as .hanoi definition files")
+    export.add_argument("--benchmark", default=None, metavar="NAME",
+                        help="export one benchmark (default: all)")
+    export.add_argument("--out", default=None, metavar="DIR",
+                        help="directory to write one file per benchmark; "
+                             "without it, a single --benchmark prints to stdout")
+    export.set_defaults(func=_cmd_export)
 
     report = subparsers.add_parser(
         "report", help="render Figure-7-style tables from a stored JSONL file")
@@ -135,7 +180,27 @@ def build_parser() -> argparse.ArgumentParser:
 # -- shared sweep machinery ------------------------------------------------------
 
 
-def _select_benchmarks(args: argparse.Namespace) -> List[str]:
+def _register_pack(directory: str):
+    """Load and register a ``--pack`` directory, exiting with a diagnostic
+    (not a traceback) when a file in it is malformed."""
+    from .spec.pack import register_pack
+
+    try:
+        return register_pack(directory)
+    except SpecFileError as exc:
+        raise SystemExit(f"error loading pack: {exc}")
+    except ValueError as exc:
+        # e.g. a pack of exported built-ins clashing with the registry.
+        raise SystemExit(f"error registering pack: {exc}; give the files "
+                         f"their own names with a `benchmark \"...\"` directive")
+
+
+def _validate_group(group: str) -> None:
+    if group not in GROUPS:
+        raise SystemExit(f"unknown group {group!r}; known: {', '.join(sorted(GROUPS))}")
+
+
+def _select_benchmarks(args: argparse.Namespace, pack=None) -> List[str]:
     if args.benchmarks:
         unknown = [name for name in args.benchmarks if name not in BENCHMARKS]
         if unknown:
@@ -143,8 +208,16 @@ def _select_benchmarks(args: argparse.Namespace) -> List[str]:
                              f"(see `python -m repro list --benchmarks`)")
         return list(args.benchmarks)
     if args.group:
+        _validate_group(args.group)
         return list(GROUPS[args.group])
-    if args.all or args.profile == "paper":
+    if args.all:
+        # Includes the pack's benchmarks: they are registered by now.
+        return all_benchmark_names()
+    if pack is not None:
+        # A pack with no other selector means: run exactly that pack
+        # (--profile only sets bounds/timeouts; it is not a selector).
+        return pack.benchmark_names
+    if args.profile == "paper":
         return all_benchmark_names()
     return list(FAST_BENCHMARKS)
 
@@ -152,15 +225,20 @@ def _select_benchmarks(args: argparse.Namespace) -> List[str]:
 def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[InferenceResult]:
     """Expand, filter (resume), execute, and persist one sweep; return the
     result set recorded in the output store for this sweep's pairs."""
-    names = _select_benchmarks(args)
+    pack = _register_pack(args.pack) if args.pack else None
+    names = _select_benchmarks(args, pack=pack)
     profile = PROFILES[args.profile]
     # Only override the profile's timeout when one was given explicitly;
     # profile() keeps the default (quick: 60 s, paper: 1800 s).
     config = profile() if args.timeout is None else profile(args.timeout)
-    tasks = expand_tasks(names, modes=list(modes), config=config)
+    tasks = expand_tasks(names, modes=list(modes), config=config,
+                         pack=pack.path if pack is not None else None)
     sweep_keys = {task.key for task in tasks}
 
-    store = ResultStore(args.output)
+    store = ResultStore(
+        args.output,
+        pack=pack.name if pack is not None else None,
+        pack_benchmarks=pack.benchmark_names if pack is not None else None)
     if args.resume:
         if args.retry_failed:
             completed = {(r.benchmark, r.mode) for r in store.load() if r.succeeded}
@@ -213,19 +291,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    pack = _register_pack(args.pack) if args.pack else None
     show_benchmarks = args.benchmarks or not args.modes
-    show_modes = args.modes or not args.benchmarks
+    # Benchmark filters imply a benchmark-focused listing; --modes still
+    # forces the mode table.
+    show_modes = args.modes or (not args.benchmarks
+                                and not (args.group or args.fast))
 
     if show_benchmarks:
+        if args.group:
+            _validate_group(args.group)
+        pack_names = set(pack.benchmark_names) if pack is not None else set()
         rows = []
         for group, names in GROUPS.items():
+            if args.group and group != args.group:
+                continue
             for name in names:
-                paper = PAPER_RESULTS.get(name)
+                if args.fast and name not in FAST_BENCHMARKS:
+                    continue
+                # None means the paper timed out; absence (pack benchmarks)
+                # means the paper never ran it at all.
+                paper = PAPER_RESULTS.get(name, "")
                 fast = "yes" if name in FAST_BENCHMARKS else ""
-                rows.append([name, group, paper, fast])
-        print(f"{len(BENCHMARKS)} benchmarks (Section 5.1); "
+                row = [name, group, paper, fast]
+                if pack is not None:
+                    row.append(pack.name if name in pack_names else "")
+                rows.append(row)
+        headers = ["Name", "Group", "Paper", "Fast subset"]
+        if pack is not None:
+            headers.append("Pack")
+        print(f"{len(rows)} of {len(BENCHMARKS)} registered benchmarks; "
               "'Paper' is Figure 7's invariant size, t/o = 30-minute timeout:")
-        print(format_table(["Name", "Group", "Paper", "Fast subset"], rows))
+        print(format_table(headers, rows))
     if show_benchmarks and show_modes:
         print()
     if show_modes:
@@ -234,6 +331,54 @@ def _cmd_list(args: argparse.Namespace) -> int:
             ["Mode", "Figure 8", "Description"],
             [[mode, "yes" if mode in FIGURE8_MODES else "", MODE_DESCRIPTIONS.get(mode, "")]
              for mode in MODES]))
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_module
+    from .spec.loader import load_module_file
+
+    try:
+        definition = load_module_file(args.file)
+    except SpecFileError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    profile = PROFILES[args.profile]
+    config = profile() if args.timeout is None else profile(args.timeout)
+    operations = ", ".join(op.name for op in definition.operations)
+    print(f"loaded {definition.name} ({definition.group}): "
+          f"{len(definition.operations)} operation(s): {operations}")
+    print(f"running mode {args.mode!r} with profile {args.profile!r} ...")
+
+    result = run_module(definition, mode=args.mode, config=config)
+    size = result.invariant_size if result.invariant_size is not None else "-"
+    print(f"status={result.status} size={size} "
+          f"iterations={result.iterations} time={result.stats.total_time:.1f}s")
+    if result.invariant is not None:
+        print()
+        print(result.render_invariant())
+    elif result.message:
+        print(result.message)
+    return 0 if result.succeeded else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .spec.export import export_all, export_benchmark
+
+    if args.benchmark is not None and args.benchmark not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {args.benchmark!r} "
+                         f"(see `python -m repro list --benchmarks`)")
+    if args.out is None:
+        if args.benchmark is None:
+            raise SystemExit("exporting every benchmark needs --out DIR "
+                             "(or pick one with --benchmark NAME)")
+        print(export_benchmark(args.benchmark), end="")
+        return 0
+    names = [args.benchmark] if args.benchmark is not None else None
+    written = export_all(args.out, names=names)
+    for name, path in written:
+        print(f"wrote {path}  ({name})")
+    print(f"exported {len(written)} benchmark(s) to {args.out}")
     return 0
 
 

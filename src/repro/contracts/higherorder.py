@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from ..lang.types import TArrow, Type, mentions_abstract
+from ..lang.types import TArrow, mentions_abstract
 from ..lang.values import Value, VNative
 from .firstorder import collect_abstract
 

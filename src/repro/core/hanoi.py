@@ -38,7 +38,7 @@ from ..lang.values import Value, value_size
 from ..synth.base import SynthesisFailure
 from ..synth.cache import SynthesisResultCache
 from ..synth.myth import MythSynthesizer
-from ..verify.result import InductivenessCounterexample, SufficiencyCounterexample, Valid
+from ..verify.result import InductivenessCounterexample, SufficiencyCounterexample
 from ..verify.tester import Verifier
 from .config import Deadline, HanoiConfig, InferenceTimeout
 from .module import ModuleDefinition, ModuleInstance

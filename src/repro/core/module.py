@@ -18,13 +18,12 @@ Following Section 3.1 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..lang.prelude import DEFAULT_SYNTHESIS_COMPONENTS
 from ..lang.program import Program
 from ..lang.types import (
-    TAbstract,
     TArrow,
     Type,
     arrow_args,

@@ -16,10 +16,9 @@ invariants in the benchmark suite and the tests).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ..lang.ast import ECtor, EFun, EVar, Expr, FunDecl, expr_size
+from ..lang.ast import ECtor, Expr, FunDecl, expr_size
 from ..lang.errors import LangError
 from ..lang.eval import EvalBudget
 from ..lang.parser import parse_program

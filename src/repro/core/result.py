@@ -63,6 +63,9 @@ class InferenceResult:
     message: str = ""
     iterations: int = 0
     events: List[Dict[str, object]] = field(default_factory=list)
+    #: Name of the benchmark pack the benchmark came from (None = built-in
+    #: suite).  Stamped by the result store when a sweep runs with ``--pack``.
+    pack: Optional[str] = None
 
     @property
     def succeeded(self) -> bool:
@@ -102,7 +105,7 @@ class InferenceResult:
         rendered source (the facts the tables report); :meth:`from_dict`
         rebuilds it as a :class:`StoredInvariant`.
         """
-        return {
+        data = {
             "benchmark": self.benchmark,
             "mode": self.mode,
             "status": self.status,
@@ -116,6 +119,9 @@ class InferenceResult:
             "stats": self.stats.to_dict(),
             "events": list(self.events),
         }
+        if self.pack is not None:
+            data["pack"] = self.pack
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "InferenceResult":
@@ -136,4 +142,5 @@ class InferenceResult:
             message=data.get("message", ""),
             iterations=int(data.get("iterations", 0)),
             events=list(data.get("events", [])),
+            pack=data.get("pack"),
         )

@@ -16,10 +16,10 @@ type are enumerated here too but never mined for counterexamples.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 from ..lang.ast import EFun, Expr
-from ..lang.types import TArrow, Type, arrow_args, arrow_result, mentions_abstract, substitute_abstract
+from ..lang.types import TArrow, arrow_args, arrow_result, mentions_abstract, substitute_abstract
 from ..lang.values import Value
 from .terms import Component, TermEnumerator
 

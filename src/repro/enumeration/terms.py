@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..lang.ast import EApp, ECtor, ETuple, EVar, Expr, app
+from ..lang.ast import ECtor, ETuple, EVar, Expr, app
 from ..lang.typecheck import TypeEnvironment
 from ..lang.types import TArrow, TData, TProd, Type, arrow_args, arrow_result
 

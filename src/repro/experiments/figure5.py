@@ -16,7 +16,7 @@ Run as a module::
 from __future__ import annotations
 
 import argparse
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.config import HanoiConfig
 from ..core.result import InferenceResult

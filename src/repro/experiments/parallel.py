@@ -153,14 +153,22 @@ class ParallelRunner:
                     task = tasks[index]
                     elapsed = time.monotonic() - started
 
-                    if conn.poll():
+                    def received_payload():
+                        # Called again before fabricating a timeout/failure
+                        # payload: a worker may deliver its real result (and
+                        # even exit) between our poll ticks, and that result
+                        # must win over a fabricated one.  EOF (the pipe
+                        # closed with nothing buffered - e.g. right after we
+                        # terminated the worker) counts as no payload.
+                        if not conn.poll():
+                            return None
                         try:
-                            payload = conn.recv()
+                            return conn.recv()
                         except EOFError:
-                            payload = _result_payload(
-                                task, Status.FAILURE,
-                                "worker exited without reporting a result",
-                                elapsed)
+                            return None
+
+                    payload = received_payload()
+                    if payload is not None:
                         self._reap(live.pop(index))
                         finish(index, payload)
                         continue
@@ -168,20 +176,22 @@ class ParallelRunner:
                     budget = self._budget_for(task)
                     if budget is not None and elapsed > budget:
                         process.terminate()
-                        self._reap(live.pop(index))
-                        finish(index, _result_payload(
+                        payload = received_payload() or _result_payload(
                             task, Status.TIMEOUT,
                             f"killed by the pool after {elapsed:.1f}s "
                             f"(hard budget {budget:.1f}s)",
-                            elapsed))
+                            elapsed)
+                        self._reap(live.pop(index))
+                        finish(index, payload)
                         continue
 
                     if not process.is_alive():
-                        self._reap(live.pop(index))
-                        finish(index, _result_payload(
+                        payload = received_payload() or _result_payload(
                             task, Status.FAILURE,
                             f"worker died with exit code {process.exitcode}",
-                            elapsed))
+                            elapsed)
+                        self._reap(live.pop(index))
+                        finish(index, payload)
         finally:
             for process, conn, _ in live.values():
                 process.terminate()

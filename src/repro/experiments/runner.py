@@ -150,11 +150,17 @@ class ExperimentTask:
     Tasks are immutable, hashable, and picklable, so the same objects flow
     through the serial runner, the multiprocessing pool, and the result store's
     resume bookkeeping.
+
+    ``pack`` carries the directory of the benchmark pack the benchmark comes
+    from (None for the built-in suite); ``execute_task`` registers the pack
+    before resolving the name, so tasks stay self-contained even in worker
+    processes that did not inherit the parent's registry.
     """
 
     benchmark: str
     mode: str = "hanoi"
     config: Optional[HanoiConfig] = None
+    pack: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -164,24 +170,32 @@ class ExperimentTask:
 
 def expand_tasks(names: Optional[Iterable[str]] = None,
                  modes: Union[str, Sequence[str]] = "hanoi",
-                 config: Optional[HanoiConfig] = None) -> List[ExperimentTask]:
+                 config: Optional[HanoiConfig] = None,
+                 pack: Optional[str] = None) -> List[ExperimentTask]:
     """The full task list of a sweep: every benchmark under every mode.
 
     Modes vary in the outer loop (matching how Figure 8 is collected: one mode
     finishes its pass over the suite before the next starts), benchmarks in the
     inner loop, so serial and parallel sweeps enumerate identically.
+
+    ``pack`` is attached to every task, so pack benchmarks resolve inside
+    pool workers (see :class:`ExperimentTask`).
     """
     names = list(names if names is not None else all_benchmark_names())
     mode_list = [modes] if isinstance(modes, str) else list(modes)
     for mode in mode_list:
         if mode not in MODES:
             raise KeyError(f"unknown mode {mode!r}; known: {sorted(MODES)}")
-    return [ExperimentTask(benchmark=name, mode=mode, config=config)
+    return [ExperimentTask(benchmark=name, mode=mode, config=config, pack=pack)
             for mode in mode_list for name in names]
 
 
 def execute_task(task: ExperimentTask) -> InferenceResult:
     """Run one task to completion in the current process."""
+    if task.pack is not None:
+        from ..spec.pack import ensure_pack_registered
+
+        ensure_pack_registered(task.pack)
     return run_module(get_benchmark(task.benchmark), mode=task.mode, config=task.config)
 
 

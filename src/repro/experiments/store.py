@@ -31,8 +31,16 @@ class ResultStore:
     still writing it.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, pack: Optional[str] = None,
+                 pack_benchmarks: Optional[Sequence[str]] = None):
         self.path = os.fspath(path)
+        #: When set, results appended through this store are tagged with the
+        #: benchmark pack they came from (``repro run --pack`` sweeps).
+        #: ``pack_benchmarks`` restricts the tag to those benchmark names, so
+        #: a mixed built-in + pack sweep tags only the pack's rows.
+        self.pack = pack
+        self.pack_benchmarks = (frozenset(pack_benchmarks)
+                                if pack_benchmarks is not None else None)
 
     # -- writing ----------------------------------------------------------------
 
@@ -41,7 +49,12 @@ class ResultStore:
         closed immediately)."""
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        line = json.dumps(result.to_dict(), separators=(",", ":"), default=str)
+        record = result.to_dict()
+        if (self.pack is not None and not record.get("pack")
+                and (self.pack_benchmarks is None
+                     or result.benchmark in self.pack_benchmarks)):
+            record["pack"] = self.pack
+        line = json.dumps(record, separators=(",", ":"), default=str)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()

@@ -28,7 +28,7 @@ relation exactly; this mirrors the original tool's unsound verifier.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..contracts.firstorder import collect_abstract
 from ..contracts.higherorder import ContractLog, wrap_function

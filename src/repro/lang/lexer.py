@@ -5,6 +5,8 @@ Token kinds:
 * ``LIDENT`` - lowercase identifiers (variables, function names, type names);
 * ``UIDENT`` - capitalized identifiers (data constructors);
 * ``INT`` - non-negative integer literals (sugar for Peano naturals);
+* ``STRING`` - double-quoted string literals (used only by the ``.hanoi``
+  benchmark-definition directives, never by object-language expressions);
 * ``KEYWORD`` - ``type of let rec in match with fun if then else``;
 * punctuation - ``( ) , | * -> = : _``.
 
@@ -34,6 +36,14 @@ _PUNCTUATION = {
     "=": "EQUAL",
     ":": "COLON",
     "_": "UNDERSCORE",
+}
+
+#: Escape sequences accepted inside string literals.
+_STRING_ESCAPES = {
+    "\\": "\\",
+    '"': '"',
+    "n": "\n",
+    "t": "\t",
 }
 
 
@@ -90,6 +100,31 @@ def tokenize(source: str) -> List[Token]:
                     advance(2)
                 else:
                     advance(1)
+            continue
+
+        if ch == '"':
+            start_line, start_col = line, column
+            advance(1)
+            chars: List[str] = []
+            while True:
+                if index >= length or source[index] == "\n":
+                    raise LexError("unterminated string literal", start_line, start_col)
+                current = source[index]
+                if current == '"':
+                    advance(1)
+                    break
+                if current == "\\":
+                    if index + 1 >= length or source[index + 1] == "\n":
+                        raise LexError("unterminated string literal", start_line, start_col)
+                    escape = source[index + 1]
+                    if escape not in _STRING_ESCAPES:
+                        raise LexError(f"unknown string escape \\{escape}", line, column)
+                    chars.append(_STRING_ESCAPES[escape])
+                    advance(2)
+                    continue
+                chars.append(current)
+                advance(1)
+            tokens.append(Token("STRING", "".join(chars), start_line, start_col))
             continue
 
         if source.startswith("->", index):

@@ -9,7 +9,6 @@ inferred invariant the way the paper presents them).
 from __future__ import annotations
 
 from .ast import (
-    Branch,
     ECtor,
     EFun,
     ELet,

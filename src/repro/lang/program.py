@@ -16,7 +16,6 @@ candidate invariants, enumerating values of declared types).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .ast import EFun, Expr, FunDecl, TypeDecl, expr_size
@@ -25,7 +24,7 @@ from .eval import DEFAULT_FUEL, EvalBudget, Evaluator
 from .parser import parse_program
 from .prelude import PRELUDE_SOURCE
 from .typecheck import TypeChecker, TypeEnvironment
-from .types import TData, Type, arrow
+from .types import Type
 from .values import Value, VClosure
 
 __all__ = ["Program"]
@@ -59,7 +58,15 @@ class Program:
 
     def extend(self, source: str) -> None:
         """Parse and load additional declarations on top of this program."""
-        decls = parse_program(source)
+        self.extend_declarations(parse_program(source))
+
+    def extend_declarations(self, decls: List[object]) -> None:
+        """Type check and install already-parsed declarations.
+
+        This is the parse-free half of :meth:`extend`; the ``.hanoi`` spec-file
+        loader uses it to check declarations one at a time so type errors can
+        be anchored to the declaration's source line.
+        """
         self._checker.check_declarations(decls)
         for decl in decls:
             self.declarations.append(decl)

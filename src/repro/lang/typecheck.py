@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from .ast import (
-    Branch,
     ECtor,
     EFun,
     ELet,

@@ -1,0 +1,123 @@
+"""Shared vocabulary of the ``.hanoi`` benchmark definition format.
+
+The format interleaves two layers in one file:
+
+* *object-language declarations* (``type`` / ``let``), parsed by the ordinary
+  :mod:`repro.lang` parser - these form the module implementation, the
+  specification function, and (optionally) an oracle invariant;
+* *directives*, lines beginning with one of :data:`DIRECTIVE_KEYWORDS`, which
+  declare the benchmark metadata a
+  :class:`~repro.core.module.ModuleDefinition` needs: the abstract type, the
+  interface signatures, the specification name, and synthesis hints.
+
+Interface signatures in directives are written over a user-chosen *alias* for
+the abstract type (``abstract type t = list`` declares alias ``t`` with
+concrete representation ``list``); this module provides the two substitutions
+between the alias spelling and the internal :class:`~repro.lang.types.TAbstract`
+representation, plus the filename sanitizer used when exporting benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..lang.pretty import pretty_type
+from ..lang.types import TAbstract, TArrow, TData, TProd, Type
+
+__all__ = [
+    "DIRECTIVE_KEYWORDS",
+    "DEFAULT_GROUP",
+    "SPEC_FILE_SUFFIX",
+    "alias_to_abstract",
+    "abstract_to_alias",
+    "render_signature",
+    "signature_mentions_alias",
+    "data_type_names",
+    "module_filename",
+]
+
+#: Lowercase identifiers that open a directive at the top level of a
+#: ``.hanoi`` file.  Object-language declarations always start with the
+#: keywords ``let`` or ``type``, so the two layers never collide.
+DIRECTIVE_KEYWORDS = frozenset(
+    ["benchmark", "group", "description", "abstract", "operation", "spec",
+     "components", "helpers", "expected"]
+)
+
+#: Group recorded for benchmarks whose file carries no ``group`` directive.
+DEFAULT_GROUP = "custom"
+
+#: Extension of benchmark definition files.
+SPEC_FILE_SUFFIX = ".hanoi"
+
+
+def alias_to_abstract(ty: Type, alias: str) -> Type:
+    """Replace every ``TData(alias)`` occurrence with the abstract type."""
+    if isinstance(ty, TData):
+        return TAbstract() if ty.name == alias else ty
+    if isinstance(ty, TAbstract):
+        return ty
+    if isinstance(ty, TProd):
+        return TProd(tuple(alias_to_abstract(t, alias) for t in ty.items))
+    if isinstance(ty, TArrow):
+        return TArrow(alias_to_abstract(ty.arg, alias),
+                      alias_to_abstract(ty.result, alias))
+    raise TypeError(f"unknown type node: {ty!r}")
+
+
+def abstract_to_alias(ty: Type, alias: str) -> Type:
+    """Replace every abstract-type occurrence with ``TData(alias)``."""
+    if isinstance(ty, TAbstract):
+        return TData(alias)
+    if isinstance(ty, TData):
+        return ty
+    if isinstance(ty, TProd):
+        return TProd(tuple(abstract_to_alias(t, alias) for t in ty.items))
+    if isinstance(ty, TArrow):
+        return TArrow(abstract_to_alias(ty.arg, alias),
+                      abstract_to_alias(ty.result, alias))
+    raise TypeError(f"unknown type node: {ty!r}")
+
+
+def render_signature(ty: Type, alias: str) -> str:
+    """Render an interface signature with the abstract type spelled ``alias``."""
+    return pretty_type(abstract_to_alias(ty, alias))
+
+
+def signature_mentions_alias(ty: Type, alias: str) -> bool:
+    """True when the directive-spelled signature mentions the alias."""
+    if isinstance(ty, TData):
+        return ty.name == alias
+    if isinstance(ty, TAbstract):
+        return True
+    if isinstance(ty, TProd):
+        return any(signature_mentions_alias(t, alias) for t in ty.items)
+    if isinstance(ty, TArrow):
+        return (signature_mentions_alias(ty.arg, alias)
+                or signature_mentions_alias(ty.result, alias))
+    return False
+
+
+def data_type_names(ty: Type):
+    """Yield the names of every ``TData`` node in a type."""
+    if isinstance(ty, TData):
+        yield ty.name
+    elif isinstance(ty, TProd):
+        for item in ty.items:
+            yield from data_type_names(item)
+    elif isinstance(ty, TArrow):
+        yield from data_type_names(ty.arg)
+        yield from data_type_names(ty.result)
+
+
+def module_filename(benchmark_name: str) -> str:
+    """A filesystem-safe ``.hanoi`` filename for a benchmark name.
+
+    Benchmark names follow the paper's path-like scheme
+    (``/coq/unique-list-::-set*``); slashes become double underscores, the
+    ``*`` marker becomes ``+star``, and the ``::`` marker becomes ``..`` (a
+    colon is not a legal filename character on Windows), so the stem stays
+    unambiguous and portable.
+    """
+    stem = (benchmark_name.strip("/").replace("/", "__")
+            .replace("*", "+star").replace("::", ".."))
+    safe = "".join(ch if (ch.isalnum() or ch in "+-_.=") else "_" for ch in stem)
+    return (safe or "module") + SPEC_FILE_SUFFIX

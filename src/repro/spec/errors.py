@@ -1,0 +1,38 @@
+"""Diagnostics for the ``.hanoi`` benchmark definition format.
+
+Every failure the loader can produce - lexical, syntactic, structural, or a
+type error surfaced from the object-language checker - is reported as a
+:class:`SpecFileError` carrying the file path and the 1-based line of the
+offending construct, so tools (and the ``repro infer`` CLI) can print
+``file.hanoi:12: message`` diagnostics instead of tracebacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SpecFileError"]
+
+
+class SpecFileError(Exception):
+    """A malformed ``.hanoi`` benchmark definition file.
+
+    Attributes
+    ----------
+    path:
+        The file the error was found in (``<string>`` for in-memory sources).
+    line:
+        1-based line number of the offending directive or declaration, or
+        ``None`` when the error concerns the file as a whole (for example an
+        empty file or a missing required directive).
+    reason:
+        The bare message, without the location prefix.
+    """
+
+    def __init__(self, reason: str, path: str = "<string>",
+                 line: Optional[int] = None):
+        location = f"{path}:{line}" if line is not None else path
+        super().__init__(f"{location}: {reason}")
+        self.path = path
+        self.line = line
+        self.reason = reason

@@ -10,11 +10,11 @@ presentation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..core.module import ModuleDefinition, Operation
 from ..lang.prelude import DEFAULT_SYNTHESIS_COMPONENTS
-from ..lang.types import TAbstract, TData, TProd, Type, arrow
+from ..lang.types import TAbstract, TData, Type
 
 __all__ = [
     "ABSTRACT",

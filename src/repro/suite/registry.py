@@ -24,6 +24,9 @@ __all__ = [
     "get_benchmark",
     "benchmarks_in_group",
     "fast_benchmarks",
+    "register_benchmark",
+    "unregister_benchmark",
+    "benchmark_group",
 ]
 
 BenchmarkFactory = Callable[[], ModuleDefinition]
@@ -123,8 +126,56 @@ PAPER_RESULTS: Dict[str, Optional[int]] = {
 }
 
 
+def register_benchmark(name: str, factory: BenchmarkFactory, group: str,
+                       fast: bool = False, replace: bool = False) -> None:
+    """Register an external benchmark alongside the built-in suite.
+
+    Registered benchmarks flow through the same machinery as the paper's 28:
+    ``expand_tasks`` / ``run_benchmark`` resolve them by name, ``GROUPS``
+    gains the benchmark under its group, and ``fast=True`` opts it into the
+    quick subset.  Registering a name that already exists raises ``ValueError``
+    unless ``replace`` is set (which keeps the existing group placement).
+    """
+    if name in BENCHMARKS:
+        if not replace:
+            raise ValueError(f"benchmark {name!r} is already registered")
+    else:
+        # Group placement happens only on first registration; a replacement
+        # keeps the existing placement (see docstring).
+        GROUPS.setdefault(group, []).append(name)
+    BENCHMARKS[name] = factory
+    if fast and name not in FAST_BENCHMARKS:
+        FAST_BENCHMARKS.append(name)
+
+
+def unregister_benchmark(name: str) -> None:
+    """Remove an externally registered benchmark (no-op when unknown).
+
+    Built-in group lists shrink too, and a group emptied by the removal is
+    dropped entirely, so registering and unregistering a pack restores the
+    registry to its prior state.
+    """
+    BENCHMARKS.pop(name, None)
+    for group in list(GROUPS):
+        if name in GROUPS[group]:
+            GROUPS[group].remove(name)
+            if not GROUPS[group]:
+                del GROUPS[group]
+    if name in FAST_BENCHMARKS:
+        FAST_BENCHMARKS.remove(name)
+
+
+def benchmark_group(name: str) -> Optional[str]:
+    """The group a benchmark is registered under, or None when unknown."""
+    for group, names in GROUPS.items():
+        if name in names:
+            return group
+    return None
+
+
 def all_benchmark_names() -> List[str]:
-    """Every registered benchmark name, in Figure-7 order."""
+    """Every registered benchmark name, in Figure-7 order (externally
+    registered benchmarks follow, in registration order)."""
     return list(BENCHMARKS)
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from ..core.module import ModuleDefinition
 from ..lang.types import TData, arrow
-from .common import ABSTRACT, BOOL, NAT, make_definition
+from .common import ABSTRACT, NAT, make_definition
 
 __all__ = [
     "assoc_list_table",

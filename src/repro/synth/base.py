@@ -15,7 +15,7 @@ both implementing the :class:`Synthesizer` protocol below.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Protocol, Sequence
+from typing import Iterable, List, Protocol
 
 from ..core.predicate import Predicate
 from ..lang.values import Value

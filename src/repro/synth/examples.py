@@ -18,7 +18,7 @@ input/output examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..lang.typecheck import TypeEnvironment
 from ..lang.types import TData, TProd, Type

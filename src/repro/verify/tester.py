@@ -24,7 +24,7 @@ for all checking work.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional
 
 from ..core.config import Deadline, VerifierBounds
 from ..core.module import ModuleInstance
@@ -33,7 +33,7 @@ from ..enumeration.ordering import diagonal_product
 from ..enumeration.values import ValueEnumerator
 from ..lang.types import Type, mentions_abstract
 from ..lang.values import Value, bool_of_value
-from .result import VALID, CheckResult, SufficiencyCounterexample, Valid
+from .result import VALID, CheckResult, SufficiencyCounterexample
 
 __all__ = ["Verifier"]
 

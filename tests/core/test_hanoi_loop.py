@@ -1,6 +1,5 @@
 """Integration-level tests of the Hanoi CEGIS loop itself."""
 
-import pytest
 
 from repro.core.config import FAST_VERIFIER_BOUNDS, HanoiConfig
 from repro.core.hanoi import HanoiInference, infer_invariant

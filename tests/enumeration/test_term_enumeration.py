@@ -6,7 +6,7 @@ from repro.enumeration.terms import Component, TermEnumerator
 from repro.lang.ast import expr_size
 from repro.lang.program import Program
 from repro.lang.types import TAbstract, TArrow, TData, arrow
-from repro.lang.values import bool_of_value, int_of_nat, nat_of_int, v_list
+from repro.lang.values import int_of_nat, nat_of_int, v_list
 from repro.suite.registry import get_benchmark
 
 

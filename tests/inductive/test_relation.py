@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import FAST_VERIFIER_BOUNDS
 from repro.core.predicate import Predicate, always_true
 from repro.inductive.relation import ConditionalInductivenessChecker
-from repro.lang.values import list_of_value, nat_of_int, v_list
+from repro.lang.values import list_of_value
 from repro.suite.registry import get_benchmark
 from repro.verify.result import InductivenessCounterexample, Valid
 

@@ -10,7 +10,6 @@ executable form: every inferred invariant must
   operations (constructible values must satisfy any representation invariant).
 """
 
-import itertools
 import random
 
 import pytest

@@ -13,7 +13,6 @@ from repro.lang.values import (
     bool_of_value,
     int_of_nat,
     nat_of_int,
-    v_bool,
     v_list,
 )
 from repro.lang.ast import PCtor, PTuple, PVar, PWild

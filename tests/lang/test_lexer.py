@@ -65,3 +65,35 @@ def test_positions_are_tracked():
 def test_primes_allowed_in_identifiers():
     tokens = tokenize("x' foo'bar")
     assert [t.text for t in tokens if t.kind == "LIDENT"] == ["x'", "foo'bar"]
+
+
+def test_string_literals():
+    tokens = tokenize('benchmark "/coq/unique-list-::-set*"')
+    assert tokens[1].kind == "STRING"
+    assert tokens[1].text == "/coq/unique-list-::-set*"
+
+
+def test_string_escapes():
+    tokens = tokenize(r'"a\"b\\c\n\t"')
+    assert tokens[0].kind == "STRING"
+    assert tokens[0].text == 'a"b\\c\n\t'
+
+
+def test_string_position_is_the_opening_quote():
+    tokens = tokenize('\n  "hello"')
+    assert (tokens[0].line, tokens[0].column) == (2, 3)
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"never closed')
+
+
+def test_string_with_raw_newline_raises():
+    with pytest.raises(LexError):
+        tokenize('"split\nstring"')
+
+
+def test_unknown_string_escape_raises():
+    with pytest.raises(LexError):
+        tokenize(r'"bad \q escape"')

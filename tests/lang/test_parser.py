@@ -3,7 +3,6 @@
 import pytest
 
 from repro.lang.ast import (
-    Branch,
     ECtor,
     EFun,
     ELet,

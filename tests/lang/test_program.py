@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.lang.ast import FunDecl
 from repro.lang.errors import TypeError_
 from repro.lang.parser import parse_program
 from repro.lang.program import Program

@@ -1,0 +1,95 @@
+"""CLI surface of the definition-file subsystem: infer, export, list filters.
+
+The heavier sweep paths (``run --pack`` over the pool) are covered at the
+library level in ``test_pack.py``; here we drive ``repro.cli.main`` the way a
+user would and check output, filters, and diagnostics-not-tracebacks.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.spec import load_module_file
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "modules")
+STACK = os.path.join(EXAMPLES_DIR, "bounded-stack.hanoi")
+
+
+def test_infer_example_file(capsys):
+    assert main(["infer", STACK, "--timeout", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "/examples/bounded-stack" in out
+    assert "status=success" in out
+    assert "within_bound" in out
+
+
+def test_infer_malformed_file_prints_diagnostic(tmp_path, capsys):
+    path = tmp_path / "broken.hanoi"
+    path.write_text("abstract type t = nat\nfrobnicate\n")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["infer", str(path)])
+    assert "broken.hanoi:2" in str(excinfo.value)
+
+
+def test_export_single_benchmark_to_stdout(capsys):
+    assert main(["export", "--benchmark", "/coq/unique-list-::-set"]) == 0
+    out = capsys.readouterr().out
+    assert 'benchmark "/coq/unique-list-::-set"' in out
+    assert "abstract type t = list" in out
+
+
+def test_export_all_round_trips_through_files(tmp_path, capsys):
+    out_dir = str(tmp_path / "exported")
+    assert main(["export", "--out", out_dir]) == 0
+    files = sorted(f for f in os.listdir(out_dir) if f.endswith(".hanoi"))
+    assert len(files) == 28
+    # Filenames must avoid characters Windows rejects (':', '*').
+    assert not any(set(f) & set(':*<>"|?') for f in files), files
+    definition = load_module_file(
+        os.path.join(out_dir, "coq__unique-list-..-set.hanoi"))
+    assert definition.name == "/coq/unique-list-::-set"
+    definition.instantiate()
+
+
+def test_export_all_to_stdout_is_refused():
+    with pytest.raises(SystemExit):
+        main(["export"])
+
+
+def test_export_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["export", "--benchmark", "/no/such"])
+
+
+def test_list_group_filter(capsys):
+    assert main(["list", "--group", "vfa"]) == 0
+    out = capsys.readouterr().out
+    assert "/vfa/bst-::-table" in out
+    assert "/coq/bst-::-set*" not in out
+    assert "Mode" not in out  # filtered listings skip the modes table
+
+
+def test_list_fast_filter(capsys):
+    assert main(["list", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "/coq/unique-list-::-set" in out
+    assert "/coq/bst-::-set*" not in out
+
+
+def test_list_unknown_group():
+    with pytest.raises(SystemExit):
+        main(["list", "--group", "nope"])
+
+
+def test_list_pack_adds_column(capsys):
+    from repro.spec import unregister_pack
+
+    try:
+        assert main(["list", "--pack", EXAMPLES_DIR]) == 0
+    finally:
+        unregister_pack(EXAMPLES_DIR)
+    out = capsys.readouterr().out
+    assert "/examples/bounded-stack" in out
+    assert "Pack" in out and "modules" in out

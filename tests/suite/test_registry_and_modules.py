@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lang.types import mentions_abstract
-from repro.lang.values import bool_of_value, int_of_nat, nat_of_int, v_list, VCtor, VTuple
+from repro.lang.values import bool_of_value, int_of_nat, nat_of_int, VCtor, VTuple
 from repro.suite.registry import (
     BENCHMARKS,
     FAST_BENCHMARKS,

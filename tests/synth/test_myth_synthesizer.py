@@ -3,9 +3,8 @@ and the fold-capable extension."""
 
 import pytest
 
-from repro.core.config import SynthesisBounds
 from repro.core.stats import InferenceStats
-from repro.lang.types import TData, arrow
+from repro.lang.types import TData
 from repro.lang.values import nat_of_int, v_list, VCtor, VTuple
 from repro.suite.registry import get_benchmark
 from repro.synth.base import SynthesisFailure

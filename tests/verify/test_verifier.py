@@ -5,7 +5,6 @@ import pytest
 from repro.core.config import Deadline, FAST_VERIFIER_BOUNDS, InferenceTimeout, VerifierBounds
 from repro.core.predicate import Predicate, always_true
 from repro.core.stats import InferenceStats
-from repro.lang.values import nat_of_int, v_list
 from repro.suite.registry import get_benchmark
 from repro.verify.result import SufficiencyCounterexample, Valid
 from repro.verify.tester import Verifier
