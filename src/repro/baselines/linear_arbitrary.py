@@ -32,6 +32,7 @@ from ..inductive.relation import ConditionalInductivenessChecker
 from ..lang.values import Value
 from ..synth.base import SynthesisFailure
 from ..synth.myth import MythSynthesizer
+from ..verify.evalcache import EvaluationCache
 from ..verify.result import InductivenessCounterexample, SufficiencyCounterexample
 from ..verify.tester import Verifier
 
@@ -51,11 +52,13 @@ class LinearArbitraryInference:
         self.stats = InferenceStats()
         self.deadline = self.config.deadline()
         enumerator = ValueEnumerator(self.instance.program.types)
+        eval_cache = EvaluationCache() if self.config.evaluation_caching else None
         self.verifier = Verifier(self.instance, enumerator, self.config.verifier_bounds,
-                                 self.stats, self.deadline)
+                                 self.stats, self.deadline, eval_cache=eval_cache)
         self.checker = ConditionalInductivenessChecker(
             self.instance, enumerator, FunctionEnumerator(self.instance),
             self.config.verifier_bounds, self.stats, self.deadline,
+            eval_cache=eval_cache,
         )
         factory = synthesizer_factory or MythSynthesizer
         self.synthesizer = factory(

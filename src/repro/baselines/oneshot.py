@@ -30,6 +30,7 @@ from ..lang.types import mentions_abstract
 from ..lang.values import Value, bool_of_value
 from ..synth.base import SynthesisFailure
 from ..synth.myth import MythSynthesizer
+from ..verify.evalcache import EvaluationCache
 from ..verify.result import Valid
 from ..verify.tester import Verifier
 
@@ -54,11 +55,13 @@ class OneShotInference:
         self.stats = InferenceStats()
         self.deadline = self.config.deadline()
         self.enumerator = ValueEnumerator(self.instance.program.types)
+        eval_cache = EvaluationCache() if self.config.evaluation_caching else None
         self.verifier = Verifier(self.instance, self.enumerator, self.config.verifier_bounds,
-                                 self.stats, self.deadline)
+                                 self.stats, self.deadline, eval_cache=eval_cache)
         self.checker = ConditionalInductivenessChecker(
             self.instance, self.enumerator, FunctionEnumerator(self.instance),
             self.config.verifier_bounds, self.stats, self.deadline,
+            eval_cache=eval_cache,
         )
         factory = synthesizer_factory or MythSynthesizer
         self.synthesizer = factory(

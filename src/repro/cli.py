@@ -100,6 +100,10 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser, default_output: str) -
                         help="verifier bounds / timeout profile (default: quick)")
     parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="per-task timeout in seconds (overrides the profile's)")
+    parser.add_argument("--no-eval-cache", action="store_true",
+                        help="disable cross-iteration verification evaluation "
+                             "caching (the ablation; outcomes are identical, "
+                             "Hanoi-mode runs are slower)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: all CPUs; 1 = serial in-process)")
     parser.add_argument("--output", default=default_output, metavar="PATH",
@@ -148,6 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="verifier bounds / timeout profile (default: quick)")
     infer.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                        help="timeout in seconds (overrides the profile's)")
+    infer.add_argument("--no-eval-cache", action="store_true",
+                       help="disable cross-iteration verification evaluation caching")
     infer.set_defaults(func=_cmd_infer)
 
     export = subparsers.add_parser(
@@ -231,9 +237,13 @@ def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[Inference
     # Only override the profile's timeout when one was given explicitly;
     # profile() keeps the default (quick: 60 s, paper: 1800 s).
     config = profile() if args.timeout is None else profile(args.timeout)
+    if args.no_eval_cache:
+        config = config.without_evaluation_caching()
     tasks = expand_tasks(names, modes=list(modes), config=config,
-                         pack=pack.path if pack is not None else None)
-    sweep_keys = {task.key for task in tasks}
+                         pack=pack.path if pack is not None else None,
+                         pack_benchmarks=pack.benchmark_names if pack is not None else None,
+                         pack_name=pack.name if pack is not None else None)
+    sweep_keys = {task.resume_key for task in tasks}
 
     store = ResultStore(
         args.output,
@@ -241,10 +251,10 @@ def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[Inference
         pack_benchmarks=pack.benchmark_names if pack is not None else None)
     if args.resume:
         if args.retry_failed:
-            completed = {(r.benchmark, r.mode) for r in store.load() if r.succeeded}
+            completed = {(r.benchmark, r.mode, r.pack) for r in store.load() if r.succeeded}
         else:
-            completed = store.completed_pairs()
-        remaining = [task for task in tasks if task.key not in completed]
+            completed = store.completed_keys()
+        remaining = [task for task in tasks if task.resume_key not in completed]
         skipped = len(tasks) - len(remaining)
         if skipped:
             print(f"resume: skipping {skipped} completed pair(s) found in {args.output}")
@@ -268,9 +278,10 @@ def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[Inference
             ParallelRunner(jobs=jobs).run(tasks, progress=progress, store=store)
 
     # Report only this sweep's pairs: the store may also hold rows from
-    # earlier sweeps with different benchmarks/modes written to the same file.
+    # earlier sweeps with different benchmarks/modes (or a same-named pack
+    # benchmark) written to the same file.
     return [result for result in store.load()
-            if (result.benchmark, result.mode) in sweep_keys]
+            if (result.benchmark, result.mode, result.pack) in sweep_keys]
 
 
 # -- subcommands -----------------------------------------------------------------
@@ -345,6 +356,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
     profile = PROFILES[args.profile]
     config = profile() if args.timeout is None else profile(args.timeout)
+    if args.no_eval_cache:
+        config = config.without_evaluation_caching()
     operations = ", ".join(op.name for op in definition.operations)
     print(f"loaded {definition.name} ({definition.group}): "
           f"{len(definition.operations)} operation(s): {operations}")

@@ -146,6 +146,11 @@ class HanoiConfig:
     #: Section 4.4: replay the synthesis/verification trace when V+ grows
     #: instead of resetting V- to the empty set.
     counterexample_list_caching: bool = True
+    #: The same principle applied to Verify: cache candidate-independent
+    #: evaluation work (spec verdicts per assignment, module-operation
+    #: applications) across refinement iterations.  Off switch for the
+    #: ablation; verdicts are identical either way.
+    evaluation_caching: bool = True
     #: Safety valve on the number of CEGIS iterations.
     max_iterations: int = 400
     #: Evaluation fuel for a single object-language run.
@@ -161,3 +166,7 @@ class HanoiConfig:
     def without_counterexample_list_caching(self) -> "HanoiConfig":
         """The Hanoi-CLC ablation configuration."""
         return replace(self, counterexample_list_caching=False)
+
+    def without_evaluation_caching(self) -> "HanoiConfig":
+        """The evaluation-cache ablation configuration (``--no-eval-cache``)."""
+        return replace(self, evaluation_caching=False)

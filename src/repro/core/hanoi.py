@@ -38,6 +38,7 @@ from ..lang.values import Value, value_size
 from ..synth.base import SynthesisFailure
 from ..synth.cache import SynthesisResultCache
 from ..synth.myth import MythSynthesizer
+from ..verify.evalcache import EvaluationCache
 from ..verify.result import InductivenessCounterexample, SufficiencyCounterexample
 from ..verify.tester import Verifier
 from .config import Deadline, HanoiConfig, InferenceTimeout
@@ -66,8 +67,12 @@ class HanoiInference:
         self.stats = InferenceStats()
         self.deadline: Deadline = self.config.deadline()
         self.enumerator = ValueEnumerator(self.instance.program.types)
+        self.eval_cache: Optional[EvaluationCache] = (
+            EvaluationCache() if self.config.evaluation_caching else None
+        )
         self.verifier = Verifier(
-            self.instance, self.enumerator, self.config.verifier_bounds, self.stats, self.deadline
+            self.instance, self.enumerator, self.config.verifier_bounds, self.stats,
+            self.deadline, eval_cache=self.eval_cache,
         )
         self.checker = ConditionalInductivenessChecker(
             self.instance,
@@ -76,6 +81,7 @@ class HanoiInference:
             self.config.verifier_bounds,
             self.stats,
             self.deadline,
+            eval_cache=self.eval_cache,
         )
         factory = synthesizer_factory or MythSynthesizer
         self.synthesizer = factory(

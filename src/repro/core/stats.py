@@ -36,6 +36,12 @@ class InferenceStats:
     synthesis_cache_hits: int = 0
     #: Verification/synthesis rounds skipped thanks to counterexample list caching.
     trace_replays: int = 0
+    #: Verification evaluations replayed from the evaluation cache (cached spec
+    #: verdicts and memoized module-operation applications).
+    eval_cache_hits: int = 0
+    #: Verification evaluations computed fresh while the evaluation cache was
+    #: active (each one seeds a future hit; 0/0 when the cache is disabled).
+    eval_cache_misses: int = 0
     #: Number of positive examples added across the run.
     positives_added: int = 0
     #: Number of negative examples added across the run.
@@ -108,6 +114,8 @@ class InferenceStats:
             "mst": self.mean_synthesis_time,
             "synthesis_cache_hits": self.synthesis_cache_hits,
             "trace_replays": self.trace_replays,
+            "eval_cache_hits": self.eval_cache_hits,
+            "eval_cache_misses": self.eval_cache_misses,
             "positives_added": self.positives_added,
             "negatives_added": self.negatives_added,
             "candidates_proposed": self.candidates_proposed,
@@ -124,6 +132,8 @@ class InferenceStats:
         "synthesis_time",
         "synthesis_cache_hits",
         "trace_replays",
+        "eval_cache_hits",
+        "eval_cache_misses",
         "positives_added",
         "negatives_added",
         "candidates_proposed",

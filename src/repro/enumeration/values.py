@@ -12,13 +12,16 @@ repeated verification calls over the same program share the work.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..lang.typecheck import TypeEnvironment
 from ..lang.types import TArrow, TData, TProd, Type
 from ..lang.values import Value, VCtor, VTuple
 
 __all__ = ["ValueEnumerator"]
+
+#: Sentinel distinguishing "not computed yet" from a computed ``None`` bound.
+_UNCOMPUTED = object()
 
 
 class ValueEnumerator:
@@ -27,6 +30,7 @@ class ValueEnumerator:
     def __init__(self, types: TypeEnvironment):
         self.types = types
         self._cache: Dict[Tuple[Type, int], Tuple[Value, ...]] = {}
+        self._size_bounds: Dict[Type, Optional[int]] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -46,10 +50,16 @@ class ValueEnumerator:
                   max_count: Optional[int] = None) -> Iterator[Value]:
         """Yield values of ``ty`` from smallest to largest.
 
-        Stops when ``max_size`` is exceeded or ``max_count`` values have been
-        produced, whichever comes first.  With neither bound the iterator is
-        infinite for recursive types.
+        Stops when ``max_size`` is exceeded, ``max_count`` values have been
+        produced, or the type is proven exhausted (a non-recursive type such
+        as ``bool`` has a largest value size; without this check a
+        ``max_count``-only enumeration of a finite type would spin on ever
+        larger empty size classes forever).  With neither bound the iterator
+        is infinite for recursive types.
         """
+        bound = self.size_bound(ty)
+        if bound is not None and (max_size is None or bound < max_size):
+            max_size = bound
         produced = 0
         size = 1
         while True:
@@ -69,6 +79,54 @@ class ValueEnumerator:
     def count_up_to(self, ty: Type, max_size: int) -> int:
         """How many values of ``ty`` have at most ``max_size`` nodes."""
         return sum(len(self.values_of_size(ty, s)) for s in range(1, max_size + 1))
+
+    def size_bound(self, ty: Type) -> Optional[int]:
+        """The largest node count any value of ``ty`` can have.
+
+        ``None`` means sizes are unbounded (the type is recursive); ``0``
+        means no value is enumerable at all (arrow types, or products over
+        them).  Used by :meth:`enumerate` as a proven-exhausted cutoff.
+        """
+        cached = self._size_bounds.get(ty, _UNCOMPUTED)
+        if cached is not _UNCOMPUTED:
+            return cached
+        bound = self._compute_size_bound(ty, frozenset())
+        self._size_bounds[ty] = bound
+        return bound
+
+    def _compute_size_bound(self, ty: Type, visiting: FrozenSet[str]) -> Optional[int]:
+        if isinstance(ty, TData):
+            if ty.name in visiting:
+                # A datatype reachable from itself nests without bound.
+                return None
+            visiting = visiting | {ty.name}
+            best = 0
+            for ctor in self.types.datatype_ctors(ty.name):
+                if ctor.payload is None:
+                    candidate: Optional[int] = 1
+                else:
+                    payload = self._compute_size_bound(ctor.payload, visiting)
+                    if payload == 0:
+                        continue  # uninhabited payload: the ctor yields no values
+                    candidate = None if payload is None else 1 + payload
+                if candidate is None:
+                    return None
+                best = max(best, candidate)
+            return best
+        if isinstance(ty, TProd):
+            total = 1
+            for item in ty.items:
+                item_bound = self._compute_size_bound(item, visiting)
+                if item_bound == 0:
+                    return 0  # one empty component empties the product
+                if item_bound is None:
+                    total = None
+                elif total is not None:
+                    total += item_bound
+            return total
+        # Function values are not enumerated here (see enumeration.functions),
+        # so an arrow position has no enumerable values at any size.
+        return 0
 
     # -- construction of one size class -----------------------------------------
 

@@ -24,6 +24,7 @@ paper's experimental setup).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -154,39 +155,66 @@ class ExperimentTask:
     ``pack`` carries the directory of the benchmark pack the benchmark comes
     from (None for the built-in suite); ``execute_task`` registers the pack
     before resolving the name, so tasks stay self-contained even in worker
-    processes that did not inherit the parent's registry.
+    processes that did not inherit the parent's registry.  ``pack_name`` is
+    the pack's registered name (the tag the result store writes), so resume
+    bookkeeping can tell a pack benchmark from a same-named built-in.
     """
 
     benchmark: str
     mode: str = "hanoi"
     config: Optional[HanoiConfig] = None
     pack: Optional[str] = None
+    pack_name: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str]:
-        """The identity used for resume bookkeeping: ``(benchmark, mode)``."""
+        """The bare ``(benchmark, mode)`` identity (pack-blind; prefer
+        :attr:`resume_key` for dedup/resume bookkeeping)."""
         return (self.benchmark, self.mode)
+
+    @property
+    def resume_key(self) -> Tuple[str, str, Optional[str]]:
+        """The identity used for resume bookkeeping.
+
+        Includes the pack tag, so a pack benchmark named like a built-in
+        neither supersedes it in the store nor causes ``--resume`` to skip
+        the other one.
+        """
+        return (self.benchmark, self.mode, self.pack_name)
 
 
 def expand_tasks(names: Optional[Iterable[str]] = None,
                  modes: Union[str, Sequence[str]] = "hanoi",
                  config: Optional[HanoiConfig] = None,
-                 pack: Optional[str] = None) -> List[ExperimentTask]:
+                 pack: Optional[str] = None,
+                 pack_benchmarks: Optional[Iterable[str]] = None,
+                 pack_name: Optional[str] = None) -> List[ExperimentTask]:
     """The full task list of a sweep: every benchmark under every mode.
 
     Modes vary in the outer loop (matching how Figure 8 is collected: one mode
     finishes its pass over the suite before the next starts), benchmarks in the
     inner loop, so serial and parallel sweeps enumerate identically.
 
-    ``pack`` is attached to every task, so pack benchmarks resolve inside
-    pool workers (see :class:`ExperimentTask`).
+    ``pack`` is attached to tasks so pack benchmarks resolve inside pool
+    workers (see :class:`ExperimentTask`); ``pack_benchmarks`` restricts the
+    pack tag to those benchmark names (a mixed built-in + pack sweep tags only
+    the pack's tasks), and ``pack_name`` sets the tag resume bookkeeping
+    matches against stored rows (defaults to the pack directory's basename).
     """
     names = list(names if names is not None else all_benchmark_names())
     mode_list = [modes] if isinstance(modes, str) else list(modes)
     for mode in mode_list:
         if mode not in MODES:
             raise KeyError(f"unknown mode {mode!r}; known: {sorted(MODES)}")
-    return [ExperimentTask(benchmark=name, mode=mode, config=config, pack=pack)
+    if pack is not None and pack_name is None:
+        # Mirror how Pack.name is derived (basename of the *resolved* path),
+        # so default resume keys match the tag the result store writes even
+        # for symlinked or relative pack directories.
+        pack_name = os.path.basename(os.path.realpath(pack))
+    from_pack = (frozenset(pack_benchmarks) if pack_benchmarks is not None
+                 else frozenset(names if pack is not None else ()))
+    return [ExperimentTask(benchmark=name, mode=mode, config=config, pack=pack,
+                           pack_name=pack_name if name in from_pack else None)
             for mode in mode_list for name in names]
 
 

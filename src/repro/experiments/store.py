@@ -86,17 +86,31 @@ class ResultStore:
     def load(self) -> List[InferenceResult]:
         """Every stored result, in file (completion) order.
 
-        Later entries win over earlier ones for the same ``(benchmark, mode)``
-        pair, so re-running a pair into the same store supersedes its old row.
+        Later entries win over earlier ones for the same ``(benchmark, mode,
+        pack)`` key, so re-running a pair into the same store supersedes its
+        old row.  The pack tag is part of the key: a pack benchmark named
+        like a built-in coexists with it instead of silently superseding it.
         """
         by_key = {}
         for record in self._iter_records():
             result = InferenceResult.from_dict(record)
-            by_key[(result.benchmark, result.mode)] = result
+            by_key[(result.benchmark, result.mode, result.pack)] = result
         return list(by_key.values())
 
+    def completed_keys(self) -> Set[Tuple[str, str, Optional[str]]]:
+        """The ``(benchmark, mode, pack)`` keys already recorded - what
+        ``--resume`` matches an :class:`~repro.experiments.runner
+        .ExperimentTask.resume_key` against."""
+        return {(record.get("benchmark"), record.get("mode"), record.get("pack"))
+                for record in self._iter_records()}
+
     def completed_pairs(self) -> Set[Tuple[str, str]]:
-        """The ``(benchmark, mode)`` pairs already recorded (for ``--resume``)."""
+        """The bare ``(benchmark, mode)`` pairs already recorded.
+
+        Pack-blind; kept for callers that do not sweep packs.  The resume
+        path uses :meth:`completed_keys` so a pack benchmark and a same-named
+        built-in are tracked separately.
+        """
         return {(record.get("benchmark"), record.get("mode"))
                 for record in self._iter_records()}
 

@@ -41,6 +41,7 @@ from ..enumeration.values import ValueEnumerator
 from ..lang.errors import LangError
 from ..lang.types import TAbstract, TArrow, Type, mentions_abstract
 from ..lang.values import Value, value_size
+from ..verify.evalcache import EvaluationCache, OperationRecord
 from ..verify.result import VALID, CheckResult, InductivenessCounterexample
 
 __all__ = ["ConditionalInductivenessChecker"]
@@ -57,13 +58,15 @@ class ConditionalInductivenessChecker:
                  function_enumerator: Optional[FunctionEnumerator] = None,
                  bounds: VerifierBounds = VerifierBounds(),
                  stats: Optional[InferenceStats] = None,
-                 deadline: Optional[Deadline] = None):
+                 deadline: Optional[Deadline] = None,
+                 eval_cache: Optional[EvaluationCache] = None):
         self.instance = instance
         self.enumerator = enumerator or ValueEnumerator(instance.program.types)
         self.function_enumerator = function_enumerator or FunctionEnumerator(instance)
         self.bounds = bounds
         self.stats = stats or InferenceStats()
         self.deadline = deadline or Deadline(None)
+        self.eval_cache = eval_cache
 
     # -- public API -------------------------------------------------------------
 
@@ -92,10 +95,13 @@ class ConditionalInductivenessChecker:
             pool = sorted(p_pool, key=value_size)
             return pool[: self.bounds.max_abstract_values]
         pool = []
+        # Inductiveness checks instantiate several argument positions at
+        # once, so the pool uses the multi-quantifier bounds pair (the seed
+        # mixed max_nodes_multi with max_structures_single).
         for value in self.enumerator.enumerate(
             self.instance.concrete_type,
             max_size=self.bounds.max_nodes_multi,
-            max_count=self.bounds.max_structures_single,
+            max_count=self.bounds.max_structures_multi,
         ):
             if p(value):
                 pool.append(value)
@@ -166,26 +172,29 @@ class ConditionalInductivenessChecker:
                 return InductivenessCounterexample(operation.name, (), violations)
             return VALID
 
+        # Section 4.3 counts data structures processed; function positions
+        # supply enumerated closures, not structures.
+        structures_per_assignment = sum(
+            1 for t in argument_types if not isinstance(t, TArrow))
+        memo = self.eval_cache.operations if self.eval_cache is not None else None
+
         for assignment in diagonal_product(pools, self.bounds.max_applications_per_operation):
             applications += 1
-            self.stats.structures_tested += 1
             if applications % 128 == 0:
                 self.deadline.check()
 
-            log = ContractLog()
-            call_args: List[Value] = []
-            supplied: List[Value] = []
-            for value, interface_type, needs_contract in zip(
-                assignment, argument_types, wrapped_positions
-            ):
-                supplied.extend(collect_abstract(value, interface_type))
-                if needs_contract:
-                    value = wrap_function(value, interface_type, self.instance.program, log)
-                call_args.append(value)
+            record = memo.get(operation.name, assignment) if memo is not None else None
+            if record is None:
+                record = self._apply_operation(
+                    operation_value, assignment, argument_types, wrapped_positions, result_type)
+                self.stats.structures_tested += structures_per_assignment
+                if memo is not None:
+                    self.stats.eval_cache_misses += 1
+                    memo.put(operation.name, assignment, record)
+            else:
+                self.stats.eval_cache_hits += 1
 
-            try:
-                result = self.instance.program.apply(operation_value, *call_args)
-            except LangError:
+            if record.crashed:
                 # A crashing application of an enumerated (possibly nonsensical)
                 # functional argument is not evidence about the invariant.
                 continue
@@ -193,13 +202,40 @@ class ConditionalInductivenessChecker:
             # Client-to-module crossings are assumed to satisfy P; runs where
             # the assumption fails are not counterexamples (the functional
             # argument fell outside the relation).
-            if any(not p(v) for v in log.client_to_module):
+            if any(not p(v) for v in record.client_to_module):
                 continue
 
-            produced = collect_abstract(result, result_type) + list(log.module_to_client)
-            violations = tuple(v for v in produced if not q(v))
+            violations = tuple(v for v in record.produced if not q(v))
             if violations:
-                witness_inputs = tuple(supplied) + tuple(log.client_to_module)
+                witness_inputs = record.supplied + record.client_to_module
                 return InductivenessCounterexample(operation.name, witness_inputs, violations)
 
         return VALID
+
+    def _apply_operation(self, operation_value: Value, assignment: Tuple[object, ...],
+                         argument_types: Tuple[Type, ...],
+                         wrapped_positions: List[bool],
+                         result_type: Type) -> OperationRecord:
+        """Run one operation application and reduce it to its
+        candidate-independent :class:`OperationRecord` (what was supplied,
+        what was produced, the contract-log crossings, and whether the
+        application crashed)."""
+        log = ContractLog()
+        call_args: List[Value] = []
+        supplied: List[Value] = []
+        for value, interface_type, needs_contract in zip(
+            assignment, argument_types, wrapped_positions
+        ):
+            supplied.extend(collect_abstract(value, interface_type))
+            if needs_contract:
+                value = wrap_function(value, interface_type, self.instance.program, log)
+            call_args.append(value)
+
+        try:
+            result = self.instance.program.apply(operation_value, *call_args)
+        except LangError:
+            return OperationRecord(tuple(supplied), (), tuple(log.client_to_module), True)
+
+        produced = tuple(collect_abstract(result, result_type)) + tuple(log.module_to_client)
+        return OperationRecord(
+            tuple(supplied), produced, tuple(log.client_to_module), False)

@@ -1,0 +1,154 @@
+"""Cross-iteration verification evaluation caching.
+
+Section 4.4's principle - never throw away work the loop will redo - is
+applied by the seed reproduction to *synthesis* (result caching, trace
+caching) but not to *verification*, even though the Hanoi loop calls
+``Verify`` dozens of times per run and most of each call's work is
+candidate-independent:
+
+* In a sufficiency check (Definition 3.4), the specification's truth value on
+  a quantifier assignment does not depend on the candidate invariant, so it
+  is worth computing at most once per run.  :class:`SpecStream` materializes
+  the quantifier enumeration (suspending wherever a check stopped) and holds
+  one verdict slot per assignment.  Verdicts stay *lazy* - the spec runs only
+  when some candidate accepts the assignment's witnesses, exactly as in the
+  uncached check, so a short run never pays for verdicts no check needed.
+  Once known, a verdict is final: spec-true assignments are skipped by every
+  later check without touching the candidate at all, and spec-falsifying
+  ones reduce to predicate evaluations over their recorded witnesses.
+
+* In a (conditional) inductiveness check (Figure 3), applying a module
+  operation to an argument assignment - including the abstract values it was
+  supplied, the abstract values it produced, the higher-order contract-log
+  crossings, and whether it crashed - is likewise candidate-independent; the
+  candidate only enters through the cheap ``P``/``Q`` predicate filters.
+  :class:`OperationMemo` memoizes one :class:`OperationRecord` per
+  ``(operation, assignment)`` pair, so re-checks replay records instead of
+  re-interpreting object-language code.
+
+Both stores hang off one per-run :class:`EvaluationCache`, created by
+:class:`~repro.core.hanoi.HanoiInference` when
+``HanoiConfig.evaluation_caching`` is enabled (the default) and shared by the
+:class:`~repro.verify.tester.Verifier` and the
+:class:`~repro.inductive.relation.ConditionalInductivenessChecker`.  The
+cache changes no verdict: a cached check returns exactly the counterexample
+(or ``VALID``) the uncached enumeration would, in the same order - see
+``tests/verify/test_evalcache.py`` for the end-to-end equivalence test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..lang.errors import LangError
+from ..lang.values import Value
+
+__all__ = ["EvaluationCache", "SpecStream", "SpecEntry", "OperationMemo", "OperationRecord"]
+
+
+class SpecEntry:
+    """One materialized quantifier assignment and its (lazy) spec verdict.
+
+    ``verdict`` is ``None`` while unknown, then ``True``/``False`` forever
+    (the spec is pure).  Once known, the fields later checks cannot need are
+    dropped: a spec-true assignment keeps nothing, a spec-falsifying one
+    keeps its abstract-type ``witnesses`` (what a counterexample reports) and
+    the evaluation ``error`` if the application crashed rather than returning
+    ``false`` - re-raised only when a candidate accepts the witnesses,
+    mirroring the uncached order of evaluation, where the spec runs only on
+    accepted assignments.
+    """
+
+    __slots__ = ("assignment", "witnesses", "verdict", "error")
+
+    def __init__(self, assignment: Tuple[Value, ...], witnesses: Tuple[Value, ...]) -> None:
+        self.assignment: Optional[Tuple[Value, ...]] = assignment
+        self.witnesses: Optional[Tuple[Value, ...]] = witnesses
+        self.verdict: Optional[bool] = None
+        self.error: Optional[LangError] = None
+
+    def resolve(self, verdict: bool, error: Optional[LangError] = None) -> None:
+        """Record the spec's verdict and drop what no later check can need."""
+        self.verdict = verdict
+        self.error = error
+        self.assignment = None
+        if verdict:
+            self.witnesses = None
+
+
+class SpecStream:
+    """The sufficiency enumeration of one run, materialized at most once.
+
+    ``entries`` holds one :class:`SpecEntry` per assignment in enumeration
+    (diagonal) order; ``iterator`` is the suspended enumeration positioned at
+    the frontier; ``exhausted`` is set once the enumeration's budget ran dry.
+    The :class:`~repro.verify.tester.Verifier` owns the replay/resume logic;
+    this class is deliberately dumb storage so the enumeration semantics stay
+    in one place.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[SpecEntry] = []
+        self.iterator: Optional[Iterator[Tuple[Value, ...]]] = None
+        self.exhausted = False
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """The candidate-independent outcome of one operation application.
+
+    ``supplied`` are the abstract values found in the argument assignment,
+    ``produced`` the abstract values the module emitted (operation result plus
+    module-to-client contract crossings), ``client_to_module`` the abstract
+    values client-supplied functions returned into the module, and ``crashed``
+    whether the application raised (crashing applications of enumerated,
+    possibly nonsensical functional arguments carry no evidence).
+    """
+
+    supplied: Tuple[Value, ...]
+    produced: Tuple[Value, ...]
+    client_to_module: Tuple[Value, ...]
+    crashed: bool
+
+
+class OperationMemo:
+    """Memoizes :class:`OperationRecord`s per ``(operation, assignment)``.
+
+    Assignments are tuples of first-order values (structural hashing) and
+    enumerated function values (identity hashing; the
+    :class:`~repro.enumeration.functions.FunctionEnumerator` memoizes its
+    pools, so the same function objects recur across checks).  ``max_entries``
+    bounds memory: a full memo keeps answering lookups but stops storing new
+    records, which only costs speed, never correctness.
+    """
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        self.max_entries = max_entries
+        self._records: Dict[Tuple[str, Tuple[Value, ...]], OperationRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, operation: str, assignment: Tuple[Value, ...]) -> Optional[OperationRecord]:
+        return self._records.get((operation, assignment))
+
+    def put(self, operation: str, assignment: Tuple[Value, ...],
+            record: OperationRecord) -> None:
+        if len(self._records) < self.max_entries:
+            self._records[(operation, assignment)] = record
+
+
+class EvaluationCache:
+    """Per-run store of candidate-independent verification work.
+
+    One instance is shared by the verifier (``spec``) and the inductiveness
+    checker (``operations``) of a run; ablation modes simply never create one.
+    Hit/miss counters live in :class:`~repro.core.stats.InferenceStats`
+    (``eval_cache_hits`` / ``eval_cache_misses``), incremented at the use
+    sites so the cache itself stays a pure store.
+    """
+
+    def __init__(self, max_operation_entries: int = 200_000) -> None:
+        self.spec = SpecStream()
+        self.operations = OperationMemo(max_operation_entries)

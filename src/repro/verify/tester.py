@@ -24,15 +24,17 @@ for all checking work.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ..core.config import Deadline, VerifierBounds
 from ..core.module import ModuleInstance
 from ..core.stats import InferenceStats
 from ..enumeration.ordering import diagonal_product
 from ..enumeration.values import ValueEnumerator
+from ..lang.errors import LangError
 from ..lang.types import Type, mentions_abstract
 from ..lang.values import Value, bool_of_value
+from .evalcache import EvaluationCache, SpecEntry
 from .result import VALID, CheckResult, SufficiencyCounterexample
 
 __all__ = ["Verifier"]
@@ -44,12 +46,14 @@ class Verifier:
     def __init__(self, instance: ModuleInstance, enumerator: Optional[ValueEnumerator] = None,
                  bounds: VerifierBounds = VerifierBounds(),
                  stats: Optional[InferenceStats] = None,
-                 deadline: Optional[Deadline] = None):
+                 deadline: Optional[Deadline] = None,
+                 eval_cache: Optional[EvaluationCache] = None):
         self.instance = instance
         self.enumerator = enumerator or ValueEnumerator(instance.program.types)
         self.bounds = bounds
         self.stats = stats or InferenceStats()
         self.deadline = deadline or Deadline(None)
+        self.eval_cache = eval_cache
 
     # -- quantifier pools ------------------------------------------------------------
 
@@ -62,6 +66,16 @@ class Verifier:
             max_count = self.bounds.max_structures_multi
             max_size = self.bounds.max_nodes_multi
         return list(self.enumerator.enumerate(concrete_type, max_size=max_size, max_count=max_count))
+
+    def _assignment_budget(self, quantifiers: int) -> int:
+        """How many assignments one sufficiency enumeration may process.
+
+        Section 4.3 caps the total number of data *structures* processed
+        (30000 at paper bounds), and a multi-quantifier assignment processes
+        one structure per quantifier, so the assignment budget is the
+        structure cap divided by the quantifier count.
+        """
+        return max(1, self.bounds.max_total // max(1, quantifiers))
 
     # -- sufficiency ------------------------------------------------------------------
 
@@ -83,18 +97,22 @@ class Verifier:
         concrete_signature = self.instance.spec_concrete_signature()
         quantifiers = len(concrete_signature)
 
-        pools: List[List[Value]] = []
-        for concrete_type in concrete_signature:
-            pools.append(self._pool(concrete_type, quantifiers))
-
         abstract_positions = [
             index for index, ty in enumerate(interface_signature) if mentions_abstract(ty)
         ]
 
+        if self.eval_cache is not None:
+            return self._check_sufficiency_cached(
+                invariant, concrete_signature, abstract_positions, quantifiers)
+
+        pools: List[List[Value]] = []
+        for concrete_type in concrete_signature:
+            pools.append(self._pool(concrete_type, quantifiers))
+
         processed = 0
-        for assignment in diagonal_product(pools, self.bounds.max_total):
+        for assignment in diagonal_product(pools, self._assignment_budget(quantifiers)):
             processed += 1
-            self.stats.structures_tested += 1
+            self.stats.structures_tested += len(assignment)
             if processed % 256 == 0:
                 self.deadline.check()
 
@@ -105,6 +123,98 @@ class Verifier:
             if not bool_of_value(result):
                 return SufficiencyCounterexample(witnesses)
         return VALID
+
+    def _check_sufficiency_cached(self, invariant: Callable[[Value], bool],
+                                  concrete_signature: Tuple[Type, ...],
+                                  abstract_positions: List[int],
+                                  quantifiers: int) -> CheckResult:
+        """Sufficiency with the spec-verdict stream of the evaluation cache.
+
+        The spec's verdict per assignment is candidate-independent, so the
+        stream materializes the enumeration once and holds one verdict slot
+        per assignment.  Verdicts are computed lazily - the spec runs only
+        when the current candidate accepts the assignment's witnesses, the
+        exact condition the uncached check evaluates under - and replayed by
+        every later check: spec-true assignments are skipped outright,
+        spec-falsifying ones reduce to predicate evaluations over their
+        recorded witnesses.  Verdict and counterexample are identical to the
+        uncached enumeration: both scan the same diagonal order and report
+        the first falsifying assignment whose witnesses the candidate
+        accepts.
+        """
+        stream = self.eval_cache.spec
+
+        scanned = 0
+        for entry in stream.entries:
+            scanned += 1
+            if scanned % 256 == 0:
+                self.deadline.check()
+            if entry.verdict is True:
+                self.stats.eval_cache_hits += 1
+                continue
+            if entry.verdict is False:
+                self.stats.eval_cache_hits += 1
+                if all(invariant(w) for w in entry.witnesses):
+                    if entry.error is not None:
+                        # The uncached path evaluates the spec only on
+                        # accepted assignments; surface the crash at the
+                        # same point.
+                        raise entry.error
+                    return SufficiencyCounterexample(entry.witnesses)
+                continue
+            # Verdict still unknown: this assignment's witnesses were
+            # rejected by every candidate checked so far.
+            if not all(invariant(w) for w in entry.witnesses):
+                continue
+            outcome = self._resolve_spec_entry(entry)
+            if outcome is not None:
+                return outcome
+        if stream.exhausted:
+            return VALID
+
+        if stream.iterator is None:
+            pools = [self._pool(t, quantifiers) for t in concrete_signature]
+            stream.iterator = diagonal_product(pools, self._assignment_budget(quantifiers))
+
+        for assignment in stream.iterator:
+            scanned += 1
+            self.stats.structures_tested += len(assignment)
+            if scanned % 256 == 0:
+                self.deadline.check()
+
+            witnesses = tuple(assignment[i] for i in abstract_positions)
+            entry = SpecEntry(assignment, witnesses)
+            stream.entries.append(entry)
+            if not all(invariant(w) for w in witnesses):
+                continue
+            outcome = self._resolve_spec_entry(entry)
+            if outcome is not None:
+                return outcome
+        stream.exhausted = True
+        stream.iterator = None
+        return VALID
+
+    def _resolve_spec_entry(self, entry: SpecEntry) -> Optional[CheckResult]:
+        """Evaluate the spec on an accepted assignment and record the verdict.
+
+        Returns the counterexample when the assignment falsifies the spec
+        (the caller's candidate accepts its witnesses, so it is the check's
+        result), or ``None`` when the spec holds.
+        """
+        self.stats.eval_cache_misses += 1
+        witnesses = entry.witnesses
+        error: Optional[LangError] = None
+        try:
+            holds = bool_of_value(self.instance.call_spec(*entry.assignment))
+        except LangError as exc:
+            holds = False
+            error = exc
+        entry.resolve(holds, error)
+        if holds:
+            return None
+        if error is not None:
+            raise error
+        return SufficiencyCounterexample(witnesses)
 
     # -- generic predicate checking ------------------------------------------------------
 

@@ -84,3 +84,49 @@ def test_every_value_of_claimed_size_has_that_size(size):
     enumerator, _ = make_enumerator()
     for value in enumerator.values_of_size(TData("tree"), size):
         assert value_size(value) == size
+
+
+# -- proven-exhausted termination (regression: finite types used to hang) ---------
+
+
+def test_finite_type_with_only_max_count_terminates():
+    """Regression: ``enumerate(bool, max_count=10)`` used to spin forever on
+    ever larger empty size classes once both booleans were produced."""
+    enumerator, _ = make_enumerator()
+    values = list(enumerator.enumerate(TData("bool"), max_count=10))
+    assert len(values) == 2
+    assert {str(v) for v in values} == {"True", "False"}
+
+
+def test_finite_product_with_only_max_count_terminates():
+    enumerator, _ = make_enumerator()
+    pair = TProd((TData("bool"), TData("bool")))
+    values = list(enumerator.enumerate(pair, max_count=100))
+    assert len(values) == 4
+    assert all(value_size(v) == 3 for v in values)
+
+
+def test_arrow_enumeration_with_only_max_count_terminates():
+    from repro.lang.types import TArrow
+    enumerator, _ = make_enumerator()
+    assert list(enumerator.enumerate(TArrow(TData("nat"), TData("nat")), max_count=3)) == []
+
+
+def test_size_bound_classification():
+    from repro.lang.types import TArrow
+    enumerator, _ = make_enumerator()
+    assert enumerator.size_bound(TData("bool")) == 1
+    assert enumerator.size_bound(TData("nat")) is None       # recursive
+    assert enumerator.size_bound(TData("list")) is None      # recursive
+    assert enumerator.size_bound(TProd((TData("bool"), TData("bool")))) == 3
+    assert enumerator.size_bound(TProd((TData("bool"), TData("nat")))) is None
+    assert enumerator.size_bound(TArrow(TData("nat"), TData("nat"))) == 0
+    # A product over an uninhabitable component is itself uninhabitable.
+    assert enumerator.size_bound(
+        TProd((TData("bool"), TArrow(TData("nat"), TData("nat"))))) == 0
+
+
+def test_smallest_on_finite_type_is_unaffected():
+    enumerator, _ = make_enumerator()
+    assert len(enumerator.smallest(TData("bool"), 10)) == 2
+    assert len(enumerator.smallest(TData("list"), 10)) == 10

@@ -87,3 +87,65 @@ def test_store_later_entries_supersede_earlier_ones(tmp_path, solved_result):
     loaded = store.load()
     assert len(loaded) == 1
     assert loaded[0].message == "second run"
+
+
+def test_pack_benchmark_does_not_collide_with_same_named_builtin(tmp_path, solved_result):
+    """Regression: rows used to be keyed by (benchmark, mode) only, so a pack
+    benchmark named like a built-in silently superseded it on load and made
+    --resume wrongly skip the other one."""
+    path = str(tmp_path / "results.jsonl")
+    ResultStore(path).append(solved_result)
+    packed = InferenceResult.from_dict(solved_result.to_dict())
+    packed.message = "from the pack"
+    ResultStore(path, pack="my-pack").append(packed)
+
+    store = ResultStore(path)
+    loaded = store.load()
+    assert len(loaded) == 2
+    by_pack = {result.pack: result for result in loaded}
+    assert by_pack[None].message == solved_result.message
+    assert by_pack["my-pack"].message == "from the pack"
+
+    assert store.completed_keys() == {
+        (BENCHMARK, "hanoi", None),
+        (BENCHMARK, "hanoi", "my-pack"),
+    }
+    # The pack-blind view still collapses them (legacy callers).
+    assert store.completed_pairs() == {(BENCHMARK, "hanoi")}
+
+
+def test_pack_rows_supersede_within_their_pack_only(tmp_path, solved_result):
+    path = str(tmp_path / "results.jsonl")
+    pack_store = ResultStore(path, pack="my-pack")
+    first = InferenceResult.from_dict(solved_result.to_dict())
+    first.message = "first pack run"
+    pack_store.append(first)
+    second = InferenceResult.from_dict(solved_result.to_dict())
+    second.message = "second pack run"
+    pack_store.append(second)
+    ResultStore(path).append(solved_result)
+
+    loaded = ResultStore(path).load()
+    assert len(loaded) == 2
+    by_pack = {result.pack: result for result in loaded}
+    assert by_pack["my-pack"].message == "second pack run"
+
+
+def test_task_resume_keys_distinguish_packs(solved_result):
+    from repro.experiments.runner import ExperimentTask, expand_tasks
+
+    builtin = ExperimentTask(benchmark=BENCHMARK, mode="hanoi")
+    packed = ExperimentTask(benchmark=BENCHMARK, mode="hanoi",
+                            pack="/tmp/my-pack", pack_name="my-pack")
+    assert builtin.key == packed.key  # the pack-blind identity
+    assert builtin.resume_key != packed.resume_key
+    assert packed.resume_key == (BENCHMARK, "hanoi", "my-pack")
+
+    # expand_tasks tags only the pack's benchmarks with the pack name.
+    tasks = expand_tasks([BENCHMARK, "pack-only"], modes="hanoi",
+                         pack="/tmp/my-pack", pack_benchmarks=["pack-only"])
+    keyed = {task.benchmark: task for task in tasks}
+    assert keyed[BENCHMARK].resume_key == (BENCHMARK, "hanoi", None)
+    assert keyed["pack-only"].resume_key == ("pack-only", "hanoi", "my-pack")
+    # Both carry the pack path so pool workers can register it.
+    assert all(task.pack == "/tmp/my-pack" for task in tasks)

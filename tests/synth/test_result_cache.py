@@ -1,0 +1,126 @@
+"""Tests for the incremental synthesis result cache (Section 4.4).
+
+The cache's contract is unchanged from the seed - ``lookup`` returns the
+first stored candidate consistent with the given example sets - but lookups
+now track per-candidate progress through the example logs instead of
+rescanning everything.  These tests pin down both the contract and the
+incrementality (via predicates that count their evaluations).
+"""
+
+from repro.core.predicate import Predicate
+from repro.lang.values import nat_of_int, v_list
+from repro.suite.registry import get_benchmark
+from repro.synth.cache import SynthesisResultCache
+
+
+def L(*ints):
+    return v_list([nat_of_int(i) for i in ints])
+
+
+class CountingPredicate:
+    """Wraps a predicate, counting evaluations of *distinct* lookups (the
+    underlying Predicate memoizes, so we count calls before its memo)."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+        self.calls = 0
+        # The cache deduplicates stored candidates by their definition.
+        self.decl = predicate.decl
+
+    def __call__(self, value):
+        self.calls += 1
+        return self.predicate(value)
+
+
+def _nodup_predicate():
+    definition = get_benchmark("/coq/unique-list-::-set")
+    program = definition.instantiate().program
+    return Predicate.from_source(definition.expected_invariant, program)
+
+
+def _never_predicate():
+    definition = get_benchmark("/coq/unique-list-::-set")
+    program = definition.instantiate().program
+    return Predicate.from_source("let never (l : list) : bool = False", program)
+
+
+def test_lookup_returns_first_consistent_candidate():
+    cache = SynthesisResultCache()
+    never, nodup = _never_predicate(), _nodup_predicate()
+    cache.store([never, nodup])
+    assert len(cache) == 2
+    assert cache.candidates == (never, nodup)
+
+    # never rejects the positive; nodup separates the sets.
+    found = cache.lookup([L(1)], [L(2, 2)])
+    assert found is nodup
+    # With no positives, never (stored first) is consistent with anything.
+    assert cache.lookup([], []) is never
+
+
+def test_store_deduplicates_by_definition():
+    cache = SynthesisResultCache()
+    nodup = _nodup_predicate()
+    cache.store([nodup])
+    cache.store([nodup])
+    assert len(cache) == 1
+
+
+def test_monotone_growth_checks_only_new_examples():
+    cache = SynthesisResultCache()
+    counting = CountingPredicate(_nodup_predicate())
+    cache.store([counting])
+
+    assert cache.lookup([L(), L(1)], [L(2, 2)]) is counting
+    calls_first = counting.calls
+    assert calls_first == 3
+
+    # Same sets again: nothing new to evaluate.
+    assert cache.lookup([L(), L(1)], [L(2, 2)]) is counting
+    assert counting.calls == calls_first
+
+    # One new positive, one new negative: exactly two fresh evaluations.
+    assert cache.lookup([L(), L(1), L(3)], [L(2, 2), L(4, 4)]) is counting
+    assert counting.calls == calls_first + 2
+
+
+def test_dead_candidates_are_not_reevaluated_while_positives_persist():
+    cache = SynthesisResultCache()
+    counting = CountingPredicate(_never_predicate())
+    cache.store([counting])
+
+    assert cache.lookup([L(1)], []) is None
+    calls_first = counting.calls
+    assert calls_first == 1
+
+    # Still dead, no matter how much the sets grow: zero further evaluations.
+    assert cache.lookup([L(1), L(2), L(3)], [L(4, 4)]) is None
+    assert counting.calls == calls_first
+
+
+def test_shrinking_example_sets_resets_and_stays_correct():
+    """Correctness never depends on monotonicity: V- resets on weakening, and
+    arbitrary callers may shrink either set."""
+    cache = SynthesisResultCache()
+    never, nodup = _never_predicate(), _nodup_predicate()
+    cache.store([never, nodup])
+
+    # never dies against a positive ...
+    assert cache.lookup([L(1)], []) is nodup
+    # ... but revives once the offending positive is gone.
+    assert cache.lookup([], [L(5)]) is never
+
+    # nodup accepts the negative [1] here, so it is inconsistent ...
+    assert cache.lookup([L(2, 2)], [L(1)]) is None
+    # ... yet consistent again after V- resets (the Hanoi weakening step).
+    assert cache.lookup([L(2, 2)], []) is None  # [2,2] is a rejected positive
+    assert cache.lookup([L(1)], []) is nodup
+
+
+def test_progress_reports_per_candidate_state():
+    cache = SynthesisResultCache()
+    never = _never_predicate()
+    cache.store([never])
+    cache.lookup([L(1)], [])
+    (entry,) = cache.progress()
+    assert entry == (0, 0, True)  # died on the first positive
