@@ -19,6 +19,13 @@ import pytest
 from repro.core.config import FAST_VERIFIER_BOUNDS, HanoiConfig
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "poolcache: synthesis term-pool cache ablation "
+        "(run with `python -m pytest benchmarks -m poolcache`)")
+
+
 @pytest.fixture(scope="session")
 def quick_config() -> HanoiConfig:
     """The configuration every benchmark harness runs under."""

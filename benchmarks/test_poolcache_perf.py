@@ -1,0 +1,87 @@
+"""Benchmark harness for the synthesis evaluation (term-pool) cache.
+
+Two angles on the same optimization, mirroring the evaluation-cache harness:
+
+* the end-to-end ablation (full Hanoi runs over the multi-iteration subset,
+  pool cache on vs. off) - the wall-clock speedup ``python -m repro run``
+  users see;
+* the warm re-synthesis hot path in isolation (a warmed synthesizer asked
+  the same question again: pure pool replay when cached) - the asymptotic
+  win, with all first-pass enumeration amortized away.
+
+Every test carries the ``poolcache`` marker, so the whole ablation is one
+command::
+
+    python -m pytest benchmarks -m poolcache --benchmark-only
+"""
+
+import pytest
+
+from repro.core.hanoi import HanoiInference
+from repro.lang.values import nat_of_int, v_list
+from repro.suite.registry import get_benchmark
+from repro.synth.myth import MythSynthesizer
+from repro.synth.poolcache import SynthesisEvaluationCache
+
+#: Benchmarks whose quick-profile runs take many CEGIS iterations - the case
+#: the cache exists for (synthesis calls dominated by redundant enumeration).
+MULTI_ITERATION_SUBSET = [
+    "/coq/sorted-list-::-set",
+    "/other/stutter-list",
+    "/coq/maxfirst-list-::-heap",
+]
+
+
+@pytest.mark.poolcache
+@pytest.mark.parametrize("variant", ["pool-cache", "no-pool-cache"])
+def test_inference_ablation(benchmark, quick_config, variant):
+    """Full inference over the multi-iteration subset, pool cache on vs. off."""
+    config = (quick_config if variant == "pool-cache"
+              else quick_config.without_synthesis_evaluation_caching())
+    definitions = [get_benchmark(name) for name in MULTI_ITERATION_SUBSET]
+
+    def run():
+        return [HanoiInference(definition, config=config, mode_name=variant).infer()
+                for definition in definitions]
+
+    results = benchmark.pedantic(run, iterations=1, rounds=2)
+    assert all(result.succeeded for result in results)
+    hits = sum(result.stats.pool_cache_hits for result in results)
+    misses = sum(result.stats.pool_cache_misses for result in results)
+    if variant == "pool-cache":
+        assert hits > 0
+    else:
+        assert hits == 0 and misses == 0
+    benchmark.extra_info.update({
+        "variant": variant,
+        "pool_cache_hits": hits,
+        "pool_cache_misses": misses,
+        "iterations": sum(result.iterations for result in results),
+    })
+
+
+@pytest.mark.poolcache
+@pytest.mark.parametrize("variant", ["pool-cache", "no-pool-cache"])
+def test_warm_resynthesis_hot_path(benchmark, variant):
+    """Re-synthesizing against unchanged examples: pure pool replay when
+    cached.
+
+    This is the per-call cost once the pool memo is warm - every branch of
+    every skeleton replays its stored term structure without evaluating a
+    single application.
+    """
+
+    def L(*ints):
+        return v_list([nat_of_int(i) for i in ints])
+
+    instance = get_benchmark("/coq/sorted-list-::-set").instantiate()
+    cache = SynthesisEvaluationCache() if variant == "pool-cache" else None
+    synthesizer = MythSynthesizer(instance, pool_cache=cache)
+    positives = [L(), L(0), L(1), L(0, 1), L(1, 2), L(0, 1, 2)]
+    negatives = [L(1, 0), L(2, 1), L(2, 0, 1), L(1, 1)]
+
+    reference = synthesizer.synthesize(positives, negatives)  # warm the memo
+    candidates = benchmark(synthesizer.synthesize, positives, negatives)
+    assert ([p.render() for p in candidates]
+            == [p.render() for p in reference])
+    benchmark.extra_info.update({"variant": variant})

@@ -30,6 +30,7 @@ from ..inductive.relation import ConditionalInductivenessChecker
 from ..lang.values import Value
 from ..synth.base import SynthesisFailure
 from ..synth.myth import MythSynthesizer
+from ..synth.poolcache import SynthesisEvaluationCache
 from ..verify.evalcache import EvaluationCache
 from ..verify.result import InductivenessCounterexample, SufficiencyCounterexample
 from ..verify.tester import Verifier
@@ -84,10 +85,13 @@ class ConjunctiveStrengtheningInference:
             self.config.verifier_bounds, self.stats, self.deadline,
             eval_cache=eval_cache,
         )
+        self.pool_cache = (
+            SynthesisEvaluationCache() if self.config.synthesis_evaluation_caching else None
+        )
         factory = synthesizer_factory or MythSynthesizer
         self.synthesizer = factory(
             self.instance, bounds=self.config.synthesis_bounds,
-            stats=self.stats, deadline=self.deadline,
+            stats=self.stats, deadline=self.deadline, pool_cache=self.pool_cache,
         )
         self.events: List[dict] = []
 

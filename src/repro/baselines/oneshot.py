@@ -30,6 +30,7 @@ from ..lang.types import mentions_abstract
 from ..lang.values import Value, bool_of_value
 from ..synth.base import SynthesisFailure
 from ..synth.myth import MythSynthesizer
+from ..synth.poolcache import SynthesisEvaluationCache
 from ..verify.evalcache import EvaluationCache
 from ..verify.result import Valid
 from ..verify.tester import Verifier
@@ -63,10 +64,13 @@ class OneShotInference:
             self.config.verifier_bounds, self.stats, self.deadline,
             eval_cache=eval_cache,
         )
+        self.pool_cache = (
+            SynthesisEvaluationCache() if self.config.synthesis_evaluation_caching else None
+        )
         factory = synthesizer_factory or MythSynthesizer
         self.synthesizer = factory(
             self.instance, bounds=self.config.synthesis_bounds,
-            stats=self.stats, deadline=self.deadline,
+            stats=self.stats, deadline=self.deadline, pool_cache=self.pool_cache,
         )
 
     def infer(self) -> InferenceResult:

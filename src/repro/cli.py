@@ -104,6 +104,10 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser, default_output: str) -
                         help="disable cross-iteration verification evaluation "
                              "caching (the ablation; outcomes are identical, "
                              "Hanoi-mode runs are slower)")
+    parser.add_argument("--no-pool-cache", action="store_true",
+                        help="disable cross-iteration synthesis term-pool "
+                             "caching (the ablation; candidate streams are "
+                             "identical, synthesis-heavy runs are slower)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: all CPUs; 1 = serial in-process)")
     parser.add_argument("--output", default=default_output, metavar="PATH",
@@ -154,6 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timeout in seconds (overrides the profile's)")
     infer.add_argument("--no-eval-cache", action="store_true",
                        help="disable cross-iteration verification evaluation caching")
+    infer.add_argument("--no-pool-cache", action="store_true",
+                       help="disable cross-iteration synthesis term-pool caching")
     infer.set_defaults(func=_cmd_infer)
 
     export = subparsers.add_parser(
@@ -239,6 +245,8 @@ def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[Inference
     config = profile() if args.timeout is None else profile(args.timeout)
     if args.no_eval_cache:
         config = config.without_evaluation_caching()
+    if args.no_pool_cache:
+        config = config.without_synthesis_evaluation_caching()
     tasks = expand_tasks(names, modes=list(modes), config=config,
                          pack=pack.path if pack is not None else None,
                          pack_benchmarks=pack.benchmark_names if pack is not None else None,
@@ -358,6 +366,8 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     config = profile() if args.timeout is None else profile(args.timeout)
     if args.no_eval_cache:
         config = config.without_evaluation_caching()
+    if args.no_pool_cache:
+        config = config.without_synthesis_evaluation_caching()
     operations = ", ".join(op.name for op in definition.operations)
     print(f"loaded {definition.name} ({definition.group}): "
           f"{len(definition.operations)} operation(s): {operations}")

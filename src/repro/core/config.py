@@ -151,6 +151,11 @@ class HanoiConfig:
     #: applications) across refinement iterations.  Off switch for the
     #: ablation; verdicts are identical either way.
     evaluation_caching: bool = True
+    #: And applied to Synth's enumeration: memoize component applications and
+    #: replay whole term-pool skeletons across synthesis calls
+    #: (``--no-pool-cache`` is the ablation; candidate streams are identical
+    #: either way).
+    synthesis_evaluation_caching: bool = True
     #: Safety valve on the number of CEGIS iterations.
     max_iterations: int = 400
     #: Evaluation fuel for a single object-language run.
@@ -170,3 +175,7 @@ class HanoiConfig:
     def without_evaluation_caching(self) -> "HanoiConfig":
         """The evaluation-cache ablation configuration (``--no-eval-cache``)."""
         return replace(self, evaluation_caching=False)
+
+    def without_synthesis_evaluation_caching(self) -> "HanoiConfig":
+        """The pool-cache ablation configuration (``--no-pool-cache``)."""
+        return replace(self, synthesis_evaluation_caching=False)

@@ -38,6 +38,7 @@ from ..lang.values import Value, value_size
 from ..synth.base import SynthesisFailure
 from ..synth.cache import SynthesisResultCache
 from ..synth.myth import MythSynthesizer
+from ..synth.poolcache import SynthesisEvaluationCache
 from ..verify.evalcache import EvaluationCache
 from ..verify.result import InductivenessCounterexample, SufficiencyCounterexample
 from ..verify.tester import Verifier
@@ -83,12 +84,16 @@ class HanoiInference:
             self.deadline,
             eval_cache=self.eval_cache,
         )
+        self.pool_cache: Optional[SynthesisEvaluationCache] = (
+            SynthesisEvaluationCache() if self.config.synthesis_evaluation_caching else None
+        )
         factory = synthesizer_factory or MythSynthesizer
         self.synthesizer = factory(
             self.instance,
             bounds=self.config.synthesis_bounds,
             stats=self.stats,
             deadline=self.deadline,
+            pool_cache=self.pool_cache,
         )
         self.cache: Optional[SynthesisResultCache] = (
             SynthesisResultCache() if self.config.synthesis_result_caching else None

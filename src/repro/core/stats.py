@@ -42,6 +42,12 @@ class InferenceStats:
     #: Verification evaluations computed fresh while the evaluation cache was
     #: active (each one seeds a future hit; 0/0 when the cache is disabled).
     eval_cache_misses: int = 0
+    #: Synthesis component applications served by the pool cache (memoized
+    #: applications plus the applications a whole-pool replay avoided).
+    pool_cache_hits: int = 0
+    #: Synthesis component applications computed fresh while the pool cache
+    #: was active (0/0 when the cache is disabled).
+    pool_cache_misses: int = 0
     #: Number of positive examples added across the run.
     positives_added: int = 0
     #: Number of negative examples added across the run.
@@ -116,6 +122,8 @@ class InferenceStats:
             "trace_replays": self.trace_replays,
             "eval_cache_hits": self.eval_cache_hits,
             "eval_cache_misses": self.eval_cache_misses,
+            "pool_cache_hits": self.pool_cache_hits,
+            "pool_cache_misses": self.pool_cache_misses,
             "positives_added": self.positives_added,
             "negatives_added": self.negatives_added,
             "candidates_proposed": self.candidates_proposed,
@@ -134,6 +142,8 @@ class InferenceStats:
         "trace_replays",
         "eval_cache_hits",
         "eval_cache_misses",
+        "pool_cache_hits",
+        "pool_cache_misses",
         "positives_added",
         "negatives_added",
         "candidates_proposed",

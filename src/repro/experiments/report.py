@@ -31,9 +31,11 @@ __all__ = [
 ]
 
 #: Column headers of the per-benchmark results table (the paper's Figure 7,
-#: extended with the evaluation-cache hit/miss counters of this reproduction).
+#: extended with the evaluation-cache and pool-cache hit/miss counters of
+#: this reproduction).
 FIGURE7_HEADERS = ["Name", "Paper", "Status", "Size", "Time (s)", "TVT (s)", "TVC", "MVT (s)",
-                   "TST (s)", "TSC", "MST (s)", "EvC hit", "EvC miss"]
+                   "TST (s)", "TSC", "MST (s)", "EvC hit", "EvC miss",
+                   "PoC hit", "PoC miss"]
 
 #: Column headers of the per-mode summary table (the shape of Figure 8).
 MODE_SUMMARY_HEADERS = ["Mode", "Solved", "Benchmarks", "Mean solve time (s)", "Total time (s)"]
@@ -103,6 +105,8 @@ def figure7_rows(results: Iterable[InferenceResult]) -> List[List[object]]:
             stats.mean_synthesis_time,
             stats.eval_cache_hits,
             stats.eval_cache_misses,
+            stats.pool_cache_hits,
+            stats.pool_cache_misses,
         ])
     return rows
 

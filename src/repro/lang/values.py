@@ -31,6 +31,7 @@ __all__ = [
     "VClosure",
     "VNative",
     "value_size",
+    "value_order",
     "is_first_order",
     "nat_of_int",
     "int_of_nat",
@@ -132,6 +133,18 @@ def value_size(value: Value) -> int:
     if isinstance(value, VTuple):
         return 1 + sum(value_size(v) for v in value.items)
     return 1
+
+
+def value_order(value: Value):
+    """A hash-seed-independent total order on first-order values.
+
+    Sorting by :func:`value_size` alone leaves equal-size values in whatever
+    order the source container iterates - for Python sets, an order that
+    varies with the interpreter's hash seed.  Everything that sorts example
+    values (the synthesizer's oracle, the result cache's example logs) uses
+    this key so runs are reproducible across seeds.
+    """
+    return (value_size(value), str(value))
 
 
 def is_first_order(value: Value) -> bool:

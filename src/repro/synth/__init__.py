@@ -5,6 +5,7 @@ from .cache import SynthesisResultCache
 from .examples import ExampleOracle, subvalues_at_type
 from .folds import FoldSynthesizer
 from .myth import MythSynthesizer
+from .poolcache import SynthesisEvaluationCache
 
 __all__ = [
     "Synthesizer",
@@ -12,6 +13,7 @@ __all__ = [
     "MythSynthesizer",
     "FoldSynthesizer",
     "SynthesisResultCache",
+    "SynthesisEvaluationCache",
     "ExampleOracle",
     "subvalues_at_type",
 ]

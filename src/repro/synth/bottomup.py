@@ -13,6 +13,23 @@ objects - the term, its size, and the tuple of values it produces on each
 example environment.  Applications are evaluated *semantically* (component
 function values applied to previously computed argument values) rather than
 by re-interpreting whole expressions, so pool construction stays cheap.
+
+Construction separates two concerns:
+
+* *term-structure enumeration* - which applications are attempted at which
+  size, driven by the surviving entries of smaller sizes (``_build_leaves``
+  / ``_build_size`` / ``_build_applications``);
+* *vector evaluation* - running one component application over one tuple of
+  argument values (``_apply``), the only place object-language code runs.
+
+The split is what the cross-iteration
+:class:`~repro.synth.poolcache.SynthesisEvaluationCache` hooks into: with a
+cache attached, ``_apply`` is answered by the application memo whenever the
+``(function, arguments)`` pair was evaluated by any earlier pool of the run
+(crash outcomes included), and a pool whose construction key matches a
+previously built pool replays the stored term structure without evaluating
+anything at all.  Cached or not, the entries produced - and their order -
+are identical.
 """
 
 from __future__ import annotations
@@ -21,12 +38,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import Deadline
+from ..core.stats import InferenceStats
 from ..lang.ast import ECtor, EVar, Expr, app
 from ..lang.errors import LangError
 from ..lang.typecheck import TypeEnvironment
 from ..lang.types import TData, Type, arrow_args, arrow_result
 from ..lang.values import Value, VCtor
 from ..lang.program import Program
+from .poolcache import CRASHED, PoolSnapshot, SynthesisEvaluationCache
 
 __all__ = ["TypedComponent", "TermEntry", "TermPool"]
 
@@ -74,7 +93,9 @@ class TermPool:
                  max_size: int,
                  constant_datatypes: Sequence[str] = ("nat",),
                  max_applications: int = 60_000,
-                 deadline: Optional[Deadline] = None):
+                 deadline: Optional[Deadline] = None,
+                 cache: Optional[SynthesisEvaluationCache] = None,
+                 stats: Optional[InferenceStats] = None):
         self.program = program
         self.types: TypeEnvironment = program.types
         self.components = tuple(components)
@@ -84,11 +105,17 @@ class TermPool:
         self.constant_datatypes = tuple(constant_datatypes)
         self.max_applications = max_applications
         self.deadline = deadline or Deadline(None)
+        self.cache = cache
+        self.stats = stats
 
         #: entries grouped by (result type, size)
         self._by_type_size: Dict[Tuple[Type, int], List[TermEntry]] = {}
         self._seen: Dict[Tuple[Type, Tuple[Value, ...]], TermEntry] = {}
+        #: every added entry with its result type, in insertion order (the
+        #: replayable term structure of this pool)
+        self._order: List[Tuple[Type, TermEntry]] = []
         self._applications = 0
+        self._evaluations = 0
         self._build()
 
     # -- queries -----------------------------------------------------------------
@@ -108,16 +135,58 @@ class TermPool:
             return False
         self._seen[key] = entry
         self._by_type_size.setdefault((result_type, entry.size), []).append(entry)
+        self._order.append((result_type, entry))
         return True
 
     def _build(self) -> None:
         if not self.environments:
             return
+        key = self._pool_key() if self.cache is not None else None
+        if key is not None:
+            snapshot = self.cache.pools.get(key)
+            if snapshot is not None:
+                self._replay(snapshot)
+                return
         self._build_leaves()
         for size in range(2, self.max_size + 1):
             self._build_size(size)
             if self._applications >= self.max_applications:
                 break
+        if key is not None:
+            self.cache.pools.put(
+                key, PoolSnapshot(tuple(self._order), self._applications,
+                                  self._evaluations))
+
+    def _pool_key(self) -> tuple:
+        """Everything the construction depends on, as one hashable key.
+
+        Component function values hash by identity for closures/natives, so
+        a component whose semantics change between synthesis calls (the
+        oracle-interpreted recursive call is rebuilt per call) never matches
+        a stale pool.  The environments are projected onto the context - the
+        only names a pool reads.
+        """
+        component_key = tuple(
+            (c.name, c.signature, c.argument_restrictions, c.fn) for c in self.components
+        )
+        environment_key = tuple(
+            tuple(env[name] for name, _ in self.context) for env in self.environments
+        )
+        return (self.context, component_key, environment_key,
+                self.max_size, self.constant_datatypes, self.max_applications)
+
+    def _replay(self, snapshot: PoolSnapshot) -> None:
+        """Reinstall a previously built pool's term structure verbatim."""
+        for result_type, entry in snapshot.entries:
+            self._by_type_size.setdefault((result_type, entry.size), []).append(entry)
+        self._order = list(snapshot.entries)
+        self._applications = snapshot.applications
+        self._evaluations = snapshot.evaluations
+        if self.stats is not None:
+            # Credit every per-environment application the original build
+            # performed: the replay serves all of them without evaluating
+            # anything, in the same unit the memo's hits/misses use.
+            self.stats.pool_cache_hits += snapshot.evaluations
 
     def _build_leaves(self) -> None:
         for name, ty in self.context:
@@ -129,6 +198,15 @@ class TermPool:
                     value = VCtor(ctor.name)
                     vector = tuple(value for _ in self.environments)
                     self._add(TData(datatype), TermEntry(ECtor(ctor.name), 1, vector))
+        # Nullary components (declared constants such as ``zero : nat``) are
+        # size-1 leaves: they have no argument positions for ``_build_size``
+        # to fill, so without this they could never appear in any term.
+        for component in self.components:
+            if component.argument_types:
+                continue
+            vector = tuple(component.fn for _ in self.environments)
+            self._add(component.result_type,
+                      TermEntry(EVar(component.name), 1, vector))
 
     def _relevant_datatypes(self) -> List[str]:
         names = {"bool"}
@@ -199,16 +277,39 @@ class TermPool:
             expr = app(EVar(component.name), *[entry.expr for entry in combo])
             self._add(component.result_type, TermEntry(expr, size, vector))
 
+    # -- vector evaluation ----------------------------------------------------------
+
     def _apply_vector(self, component: TypedComponent,
                       combo: Sequence[TermEntry]) -> Optional[Tuple[Value, ...]]:
         results: List[Value] = []
         for index in range(len(self.environments)):
-            args = [entry.vector[index] for entry in combo]
-            try:
-                results.append(self.program.apply(component.fn, *args))
-            except (LangError, KeyError, ValueError):
+            args = tuple(entry.vector[index] for entry in combo)
+            outcome = self._apply(component, args)
+            if outcome is CRASHED:
                 return None
+            results.append(outcome)
         return tuple(results)
+
+    def _apply(self, component: TypedComponent, args: Tuple[Value, ...]) -> object:
+        """One component application: a result value or :data:`CRASHED`."""
+        self._evaluations += 1
+        if self.cache is None:
+            return self._evaluate(component, args)
+        outcome = self.cache.applications.get(component.fn, args)
+        if outcome is None:
+            outcome = self._evaluate(component, args)
+            self.cache.applications.put(component.fn, args, outcome)
+            if self.stats is not None:
+                self.stats.pool_cache_misses += 1
+        elif self.stats is not None:
+            self.stats.pool_cache_hits += 1
+        return outcome
+
+    def _evaluate(self, component: TypedComponent, args: Tuple[Value, ...]) -> object:
+        try:
+            return self.program.apply(component.fn, *args)
+        except (LangError, KeyError, ValueError):
+            return CRASHED
 
 
 def _partitions(total: int, parts: int):

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.predicate import Predicate
-from ..lang.values import Value
+from ..lang.values import Value, value_order
 
 __all__ = ["SynthesisResultCache"]
 
@@ -70,11 +70,13 @@ class _ExampleLog:
         if self.known <= given_set:
             fresh = given_set - self.known
             if fresh:
-                self.values.extend(fresh)
+                # Deterministic extension order: ``fresh`` is a set, and set
+                # iteration order varies with the interpreter's hash seed.
+                self.values.extend(sorted(fresh, key=value_order))
                 self.known |= fresh
         else:
             self.generation += 1
-            self.values = list(given_set)
+            self.values = sorted(given_set, key=value_order)
             self.known = given_set
 
 

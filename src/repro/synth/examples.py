@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..lang.typecheck import TypeEnvironment
 from ..lang.types import TData, TProd, Type
-from ..lang.values import Value, VCtor, VTuple, value_size
+from ..lang.values import Value, VCtor, VTuple, value_order, value_size
 from .base import SynthesisFailure
 
 __all__ = ["ExampleOracle", "subvalues_at_type"]
@@ -68,8 +68,11 @@ class ExampleOracle:
     def build(cls, positives: Iterable[Value], negatives: Iterable[Value],
               concrete_type: Type, types: TypeEnvironment) -> "ExampleOracle":
         """Build a trace-complete oracle from the loop's V+ and V- sets."""
-        positives = tuple(sorted(set(positives), key=value_size))
-        negatives = tuple(sorted(set(negatives), key=value_size))
+        # value_order, not value_size: equal-size values would otherwise fall
+        # back to the sets' hash-seed-dependent iteration order, and that
+        # order reaches the example environments and the candidate stream.
+        positives = tuple(sorted(set(positives), key=value_order))
+        negatives = tuple(sorted(set(negatives), key=value_order))
         overlap = set(positives) & set(negatives)
         if overlap:
             raise SynthesisFailure(

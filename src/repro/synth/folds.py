@@ -53,11 +53,12 @@ class FoldSynthesizer(MythSynthesizer):
                  bounds: SynthesisBounds = SynthesisBounds(),
                  stats: Optional[InferenceStats] = None,
                  deadline: Optional[Deadline] = None,
-                 extra_components: Optional[Dict[str, Tuple[Type, Value]]] = None):
+                 extra_components: Optional[Dict[str, Tuple[Type, Value]]] = None,
+                 pool_cache=None):
         extras = dict(extra_components or {})
         extras.update(self._derived_folds(instance))
         super().__init__(instance, bounds=bounds, stats=stats, deadline=deadline,
-                         extra_components=extras)
+                         extra_components=extras, pool_cache=pool_cache)
 
     @staticmethod
     def _derived_folds(instance: ModuleInstance) -> Dict[str, Tuple[Type, Value]]:

@@ -54,6 +54,7 @@ from ..lang.values import FALSE, TRUE, Value, VCtor, VNative, VTuple, v_bool, va
 from .base import SynthesisFailure
 from .bottomup import TermPool, TypedComponent
 from .examples import ExampleOracle
+from .poolcache import SynthesisEvaluationCache
 
 __all__ = ["MythSynthesizer"]
 
@@ -72,7 +73,8 @@ class MythSynthesizer:
                  bounds: SynthesisBounds = SynthesisBounds(),
                  stats: Optional[InferenceStats] = None,
                  deadline: Optional[Deadline] = None,
-                 extra_components: Optional[Dict[str, Tuple[Type, Value]]] = None):
+                 extra_components: Optional[Dict[str, Tuple[Type, Value]]] = None,
+                 pool_cache: Optional[SynthesisEvaluationCache] = None):
         self.instance = instance
         self.program = instance.program
         self.concrete_type = instance.concrete_type
@@ -80,6 +82,12 @@ class MythSynthesizer:
         self.stats = stats
         self.deadline = deadline or Deadline(None)
         self.extra_components = dict(extra_components or {})
+        self.pool_cache = pool_cache
+        #: Oracle-interpreting recursive-call functions, keyed by the oracle
+        #: mapping they interpret.  Reusing the same function value for equal
+        #: mappings lets the pool cache replay recursive-call pools across
+        #: synthesize() calls whose examples did not change.
+        self._oracle_fns: Dict[frozenset, Value] = {}
         self.param = self._fresh_name("x")
 
     # -- public API ----------------------------------------------------------------
@@ -124,9 +132,27 @@ class MythSynthesizer:
         """All candidate invariant bodies, smallest first.
 
         The example oracle is stashed on the instance for the duration of the
-        call so the recursive-call component can consult it.
+        call so the recursive-call component can consult it.  The oracle-
+        interpreting function value for the recursive call is one object per
+        *oracle mapping*: shared by every branch pool of the call (so the
+        evaluation cache can memoize its applications), reused across calls
+        whose examples are identical (their pools replay wholesale), and
+        fresh whenever the mapping changed (so no cache entry is ever
+        answered by a stale oracle).
         """
         self.__oracle = oracle
+
+        fingerprint = frozenset(oracle.mapping.items())
+        recursive_fn = self._oracle_fns.get(fingerprint)
+        if recursive_fn is None:
+
+            def oracle_call(value: Value) -> Value:
+                return v_bool(oracle.expected(value))
+
+            recursive_fn = VNative(oracle_call, name=INVARIANT_NAME)
+            if len(self._oracle_fns) < 256:
+                self._oracle_fns[fingerprint] = recursive_fn
+        self.__recursive_fn = recursive_fn
         try:
             examples: List[Example] = [
                 ({self.param: value}, expected)
@@ -141,25 +167,35 @@ class MythSynthesizer:
             bodies.extend(self._leaf_bodies(context, examples, frozenset(), oracle))
             # Candidates that destructure the argument.
             bodies.extend(
-                self._match_bodies(self.param, context, examples, frozenset(), oracle, depth=1)
+                self._match_bodies(self.param, context, examples, frozenset(), oracle,
+                                   depth=1, matched=frozenset())
             )
             bodies.sort(key=expr_size)
             return bodies
         finally:
             del self.__oracle
+            del self.__recursive_fn
 
     # -- match skeletons -----------------------------------------------------------------
 
     def _match_bodies(self, scrutinee: str, context: Tuple[Tuple[str, Type], ...],
                       examples: Sequence[Example], decreasing: frozenset,
-                      oracle: ExampleOracle, depth: int) -> List[Expr]:
-        """Candidates of the form ``match scrutinee with ...``."""
+                      oracle: ExampleOracle, depth: int,
+                      matched: frozenset) -> List[Expr]:
+        """Candidates of the form ``match scrutinee with ...``.
+
+        ``matched`` holds the names every enclosing match (and this one)
+        already destructured; branch bodies skip them so no candidate
+        re-matches a scrutinee inside its own match.
+        """
         self.deadline.check()
         scrutinee_type = dict(context)[scrutinee]
+        matched = matched | {scrutinee}
 
         if isinstance(scrutinee_type, TProd):
             return self._tuple_match_bodies(
-                scrutinee, scrutinee_type, context, examples, decreasing, oracle, depth
+                scrutinee, scrutinee_type, context, examples, decreasing, oracle,
+                depth, matched
             )
         if not isinstance(scrutinee_type, TData):
             return []
@@ -186,7 +222,7 @@ class MythSynthesizer:
                 name for name, ty in bindings if ty == self.concrete_type
             )
             bodies = self._branch_bodies(
-                branch_context, routed, branch_decreasing, oracle, depth
+                branch_context, routed, branch_decreasing, oracle, depth, matched
             )
             if not bodies:
                 return []
@@ -202,7 +238,8 @@ class MythSynthesizer:
     def _tuple_match_bodies(self, scrutinee: str, scrutinee_type: TProd,
                             context: Tuple[Tuple[str, Type], ...],
                             examples: Sequence[Example], decreasing: frozenset,
-                            oracle: ExampleOracle, depth: int) -> List[Expr]:
+                            oracle: ExampleOracle, depth: int,
+                            matched: frozenset) -> List[Expr]:
         """Destructure a product-typed value with a single tuple-pattern branch."""
         names = self._component_names(scrutinee_type.items, depth)
         bindings = tuple(zip(names, scrutinee_type.items))
@@ -218,7 +255,8 @@ class MythSynthesizer:
             routed.append((branch_env, expected))
 
         branch_context = context + bindings
-        bodies = self._branch_bodies(branch_context, routed, decreasing, oracle, depth)
+        bodies = self._branch_bodies(branch_context, routed, decreasing, oracle,
+                                     depth, matched)
         return [
             EMatch(EVar(scrutinee), (Branch(pattern, body),))
             for body in bodies[:_PER_BRANCH_CANDIDATES]
@@ -226,21 +264,28 @@ class MythSynthesizer:
 
     def _branch_bodies(self, context: Tuple[Tuple[str, Type], ...],
                        examples: Sequence[Example], decreasing: frozenset,
-                       oracle: ExampleOracle, depth: int) -> List[Expr]:
-        """Bodies for one branch: leaf terms, plus nested matches if allowed."""
+                       oracle: ExampleOracle, depth: int,
+                       matched: frozenset) -> List[Expr]:
+        """Bodies for one branch: leaf terms, plus nested matches if allowed.
+
+        Names in ``matched`` were already destructured by an enclosing match
+        (the synthesized argument itself included), so re-matching them could
+        only duplicate work and emit redundant candidates.
+        """
         bodies = list(self._leaf_bodies(context, examples, decreasing, oracle))
         if depth < self.bounds.max_match_depth:
-            matched_already = {name for name, _ in context if name == self.param}
             for name, ty in context:
-                if name == self.param:
+                if name in matched:
                     continue
                 if isinstance(ty, TData) and ty.name != "bool" and ty.name in self.program.types.datatypes:
                     bodies.extend(
-                        self._match_bodies(name, context, examples, decreasing, oracle, depth + 1)
+                        self._match_bodies(name, context, examples, decreasing, oracle,
+                                           depth + 1, matched)
                     )
                 elif isinstance(ty, TProd):
                     bodies.extend(
-                        self._match_bodies(name, context, examples, decreasing, oracle, depth + 1)
+                        self._match_bodies(name, context, examples, decreasing, oracle,
+                                           depth + 1, matched)
                     )
         bodies.sort(key=expr_size)
         return bodies
@@ -262,6 +307,8 @@ class MythSynthesizer:
             max_size=self.bounds.max_term_size,
             max_applications=self.bounds.max_terms_per_branch,
             deadline=self.deadline,
+            cache=self.pool_cache,
+            stats=self.stats,
         )
         entries = pool.entries(TData("bool"))
         target = tuple(v_bool(expected) for _, expected in examples)
@@ -364,14 +411,10 @@ class MythSynthesizer:
     def _recursive_component(self, decreasing: frozenset) -> TypedComponent:
         """The invariant's recursive self-call, interpreted by the example
         oracle and restricted to structurally smaller arguments."""
-
-        def oracle_call(value: Value) -> Value:
-            return v_bool(self._current_oracle.expected(value))
-
         return TypedComponent(
             INVARIANT_NAME,
             arrow(self.concrete_type, TData("bool")),
-            VNative(oracle_call, name=INVARIANT_NAME),
+            self.__recursive_fn,
             argument_restrictions=(frozenset(decreasing),),
         )
 

@@ -1,0 +1,154 @@
+"""Cross-iteration synthesis evaluation caching.
+
+PR 3 extended Section 4.4's principle - never throw away work the loop will
+redo - from synthesis bookkeeping into verification.  This module extends it
+into *enumeration*: every ``MythSynthesizer.synthesize()`` call builds a
+fresh :class:`~repro.synth.bottomup.TermPool` for every branch of every
+match skeleton, and most of what those pools compute is identical to what
+the pools of the previous CEGIS iteration computed, because V+ and V- only
+grow between iterations.  Two stores exploit that:
+
+* :class:`ApplicationMemo` memoizes ``program.apply(component.fn, *args)``
+  per ``(component function, argument values)`` across **all** pools of a
+  run - crash outcomes included, which the uncached path re-raises and
+  re-catches on every iteration.  Keys hash the component's function value
+  itself: first-order module globals are one stable object per run (so their
+  applications replay across iterations), while the synthesizer's
+  oracle-interpreted recursive call is a fresh ``VNative`` per synthesis
+  call (so its applications replay only within one call, never against a
+  stale oracle - the oracle's expected values change as examples grow).
+
+* :class:`PoolMemo` reuses whole pool skeletons: when a later synthesis call
+  reaches a branch whose ``(context, components, example environments,
+  bounds)`` key matches a previously built pool, the stored term structure
+  is replayed verbatim and no behaviour vector is evaluated at all.  The
+  environments are part of the key on purpose: observational-equivalence
+  dedup depends on the behaviour vectors, so a pool built over different
+  environments can keep a different set of terms - replaying it would change
+  the candidate stream.  Branches whose examples *did* change rebuild their
+  structure, but every component application over previously seen argument
+  values is answered by the :class:`ApplicationMemo`, so only the genuinely
+  new example environments are evaluated.
+
+Both stores hang off one per-run :class:`SynthesisEvaluationCache`, created
+by :class:`~repro.core.hanoi.HanoiInference` (and the three baselines) when
+``HanoiConfig.synthesis_evaluation_caching`` is enabled (the default) and
+threaded into every :class:`~repro.synth.bottomup.TermPool` the synthesizer
+builds.  The cache changes no candidate: pools replay exactly the entries
+the uncached construction would produce, in the same order - see
+``tests/synth/test_poolcache.py`` for the end-to-end equivalence suite.
+Hit/miss counters live in :class:`~repro.core.stats.InferenceStats`
+(``pool_cache_hits`` / ``pool_cache_misses``), incremented at the use sites
+so the cache itself stays a pure store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..lang.values import Value
+
+__all__ = ["SynthesisEvaluationCache", "ApplicationMemo", "PoolMemo",
+           "PoolSnapshot", "CRASHED"]
+
+
+class _Crashed:
+    """Sentinel outcome of a component application that raised."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "CRASHED"
+
+
+#: The memoized outcome of an application that raised a language-level error
+#: (the uncached enumeration catches the exception and drops the term).
+CRASHED = _Crashed()
+
+
+class ApplicationMemo:
+    """Memoizes component-application outcomes per ``(function, arguments)``.
+
+    Keys pair the component's function value with the tuple of first-order
+    argument values.  Function values hash by identity (module globals are
+    one object per run; a fresh oracle ``VNative`` per synthesis call keys
+    its own applications) and argument values hash structurally, exactly the
+    discipline of the verification-side ``OperationMemo``.  ``max_entries``
+    bounds memory: a full memo keeps answering lookups but stops storing new
+    outcomes, which only costs speed, never correctness.
+    """
+
+    def __init__(self, max_entries: int = 500_000) -> None:
+        self.max_entries = max_entries
+        self._outcomes: Dict[Tuple[Value, Tuple[Value, ...]], object] = {}
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def get(self, fn: Value, args: Tuple[Value, ...]) -> Optional[object]:
+        """The stored outcome (a value or :data:`CRASHED`), or None if unseen."""
+        return self._outcomes.get((fn, args))
+
+    def put(self, fn: Value, args: Tuple[Value, ...], outcome: object) -> None:
+        if len(self._outcomes) < self.max_entries:
+            self._outcomes[(fn, args)] = outcome
+
+
+@dataclass(frozen=True)
+class PoolSnapshot:
+    """The replayable result of one pool construction.
+
+    ``entries`` is every surviving :class:`~repro.synth.bottomup.TermEntry`
+    paired with its result type, in insertion order (which reproduces the
+    per-``(type, size)`` bucket order a fresh build would create);
+    ``applications`` is the number of candidate combinations the build
+    attempted, so a replay restores the pool's budget accounting; and
+    ``evaluations`` is the number of per-environment component applications
+    the build performed (one per ``_apply`` call), so a replay credits the
+    hit counter in the same unit the memo's own hits and misses use.
+    """
+
+    entries: Tuple[Tuple[object, object], ...]
+    applications: int
+    evaluations: int
+
+
+class PoolMemo:
+    """Stores finished pool skeletons per construction key.
+
+    The key (built by ``TermPool._pool_key``) captures everything the
+    construction depends on: the typed context, the component identities
+    (name, signature, restrictions, and the function value itself), the
+    example environments projected onto the context, and the size/budget
+    bounds.  An exact match therefore replays byte-identically; anything
+    less than an exact match rebuilds (backed by the application memo).
+    ``max_entries`` bounds memory the same way :class:`ApplicationMemo` does.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._pools: Dict[tuple, PoolSnapshot] = {}
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def get(self, key: tuple) -> Optional[PoolSnapshot]:
+        return self._pools.get(key)
+
+    def put(self, key: tuple, snapshot: PoolSnapshot) -> None:
+        if len(self._pools) < self.max_entries:
+            self._pools[key] = snapshot
+
+
+class SynthesisEvaluationCache:
+    """Per-run store of synthesis enumeration work.
+
+    One instance is shared by every :class:`~repro.synth.bottomup.TermPool`
+    a run's synthesizer builds; ablation modes simply never create one.
+    """
+
+    def __init__(self, max_application_entries: int = 500_000,
+                 max_pool_entries: int = 4096) -> None:
+        self.applications = ApplicationMemo(max_application_entries)
+        self.pools = PoolMemo(max_pool_entries)

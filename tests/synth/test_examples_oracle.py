@@ -65,3 +65,50 @@ def test_oracle_is_trace_complete(lists):
     for value in values:
         for sub in subvalues_at_type(value, TData("list"), TData("list"), instance.program.types):
             assert sub in oracle
+
+
+def test_oracle_orders_equal_size_examples_deterministically(listset):
+    """Regression: sorting by size alone left equal-size values in the input
+    set's hash-seed-dependent iteration order, which reached the example
+    environments (and therefore the candidate stream)."""
+    from repro.lang.values import value_order
+
+    positives = [L(3, 1), L(1, 3), L(2, 4), L(4, 2), L(0, 5)]
+    negatives = [L(1, 1), L(2, 2), L(3, 3)]
+    oracle = ExampleOracle.build(set(positives), set(negatives),
+                                 TData("list"), listset.program.types)
+    assert list(oracle.positives) == sorted(positives, key=value_order)
+    assert list(oracle.negatives) == sorted(negatives, key=value_order)
+
+
+def test_oracle_order_is_reproducible_across_hash_seeds():
+    """The oracle's example order (and hence everything downstream of it)
+    must not vary with PYTHONHASHSEED."""
+    import os
+    import subprocess
+    import sys
+
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    script = (
+        "from repro.lang.types import TData\n"
+        "from repro.lang.values import nat_of_int, v_list\n"
+        "from repro.suite.registry import get_benchmark\n"
+        "from repro.synth.examples import ExampleOracle\n"
+        "def L(*ints):\n"
+        "    return v_list([nat_of_int(i) for i in ints])\n"
+        "types = get_benchmark('/coq/unique-list-::-set').instantiate().program.types\n"
+        "oracle = ExampleOracle.build(\n"
+        "    {L(3, 1), L(1, 3), L(2, 4), L(4, 2)}, {L(1, 1), L(2, 2)},\n"
+        "    TData('list'), types)\n"
+        "print([str(v) for v in oracle.positives])\n"
+        "print([str(v) for v in oracle.negatives])\n"
+        "print([str(v) for v in oracle.all_values])\n"
+    )
+    outputs = []
+    for seed in ("1", "7"):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=os.path.join(repo, "src"))
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]

@@ -124,3 +124,67 @@ def test_progress_reports_per_candidate_state():
     cache.lookup([L(1)], [])
     (entry,) = cache.progress()
     assert entry == (0, 0, True)  # died on the first positive
+
+
+# -- deterministic example-log ordering (regression: hash-seed dependence) --------
+
+
+def test_example_logs_extend_in_deterministic_order():
+    """``sync`` receives Python sets; without an explicit order the log (and
+    therefore which offending negative each entry parks on) would follow the
+    interpreter's hash seed."""
+    from repro.lang.values import value_order
+    from repro.synth.cache import _ExampleLog
+
+    values = [L(3, 1), L(2), L(1, 2, 3), L(5), L(4, 4)]
+    log = _ExampleLog()
+    log.sync(set(values))
+    assert log.values == sorted(values, key=value_order)
+
+    # Extensions append the fresh values in the same order ...
+    extra = [L(9), L(0, 7)]
+    log.sync(set(values) | set(extra))
+    assert log.values[len(values):] == sorted(extra, key=value_order)
+
+    # ... and a generation reset re-sorts the surviving set.
+    log.sync({L(2), L(5), L(3, 1)})
+    assert log.generation == 1
+    assert log.values == sorted([L(2), L(5), L(3, 1)], key=value_order)
+
+
+def test_lookup_order_is_reproducible_across_hash_seeds():
+    """The same lookup sequence must park every entry on the same log indices
+    regardless of PYTHONHASHSEED (which reorders Python set iteration)."""
+    import os
+    import subprocess
+    import sys
+
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    script = (
+        "from repro.lang.values import nat_of_int, v_list\n"
+        "from repro.synth.cache import SynthesisResultCache\n"
+        "from repro.core.predicate import Predicate\n"
+        "from repro.suite.registry import get_benchmark\n"
+        "definition = get_benchmark('/coq/unique-list-::-set')\n"
+        "program = definition.instantiate().program\n"
+        "nodup = Predicate.from_source(definition.expected_invariant, program)\n"
+        "never = Predicate.from_source('let never (l : list) : bool = False', program)\n"
+        "def L(*ints):\n"
+        "    return v_list([nat_of_int(i) for i in ints])\n"
+        "cache = SynthesisResultCache()\n"
+        "cache.store([never, nodup])\n"
+        "found = cache.lookup({L(), L(1), L(2)}, {L(1, 1), L(2, 2), L(3, 3)})\n"
+        "print(found.render())\n"
+        "print(cache.progress())\n"
+        "print([str(v) for v in cache._positives.values])\n"
+        "print([str(v) for v in cache._negatives.values])\n"
+    )
+
+    outputs = []
+    for seed in ("0", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=os.path.join(repo, "src"))
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
