@@ -24,6 +24,10 @@ def pytest_configure(config):
         "markers",
         "poolcache: synthesis term-pool cache ablation "
         "(run with `python -m pytest benchmarks -m poolcache`)")
+    config.addinivalue_line(
+        "markers",
+        "fuzz: property-based generator / differential-fuzzing tests "
+        "(deselect with `-m 'not fuzz'`; deep sweeps gate on FUZZ_FULL=1)")
 
 
 @pytest.fixture(scope="session")

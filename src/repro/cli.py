@@ -1,6 +1,6 @@
 """The ``python -m repro`` command-line interface.
 
-Six subcommands drive the reproduction:
+Seven subcommands drive the reproduction:
 
 ``run``
     Execute a benchmark sweep - by default the fast subset under the Hanoi
@@ -32,6 +32,15 @@ Six subcommands drive the reproduction:
     benchmarks, parallelised, followed by the per-mode summary table and the
     cumulative completion series.
 
+``fuzz``
+    Generate a seed-deterministic corpus of random modules with
+    known-by-construction invariants, run each through several inference
+    modes under every cache configuration via the parallel runner, and
+    cross-check that per-mode outcomes are identical across cache
+    configurations and that inferred invariants imply the ground truth.
+    Mismatching modules are shrunk to minimal ``.hanoi`` reproducers (see
+    docs/fuzzing.md).
+
 Examples::
 
     python -m repro run --jobs 4 --profile quick --output results.jsonl
@@ -41,6 +50,7 @@ Examples::
     python -m repro report results.jsonl --csv results.csv
     python -m repro list --group coq --fast
     python -m repro figure8 --modes hanoi conj-str oneshot --jobs 8
+    python -m repro fuzz --seed 0 --count 25 --out fuzz-out/
 """
 
 from __future__ import annotations
@@ -72,6 +82,7 @@ from .experiments.runner import (
     expand_tasks,
 )
 from .experiments.store import ResultStore
+from .gen.diff import DEFAULT_FUZZ_MODES
 from .spec.errors import SpecFileError
 from .suite.registry import (
     BENCHMARKS,
@@ -186,6 +197,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help=f"modes to compare (default: {' '.join(FIGURE8_MODES)})")
     figure8.set_defaults(func=_cmd_figure8)
 
+    fuzz = subparsers.add_parser(
+        "fuzz", help="differential-fuzz generated modules across modes and "
+                     "cache configurations")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="base corpus seed (default: 0); the same seed and "
+                           "count always produce the same corpus")
+    fuzz.add_argument("--count", type=int, default=25, metavar="N",
+                      help="number of modules to generate (default: 25)")
+    fuzz.add_argument("--modes", nargs="*", default=None, metavar="MODE",
+                      help="modes to cross-check (default: "
+                           f"{' '.join(DEFAULT_FUZZ_MODES)})")
+    fuzz.add_argument("--out", default="fuzz-out", metavar="DIR",
+                      help="output directory: corpus/ (the generated .hanoi "
+                           "files), results.jsonl, reproducers/ (default: "
+                           "fuzz-out)")
+    fuzz.add_argument("--shrink", dest="shrink", action="store_true",
+                      default=True,
+                      help="shrink mismatching modules to minimal .hanoi "
+                           "reproducers (default)")
+    fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                      help="report mismatches without shrinking them")
+    fuzz.add_argument("--no-oracle", action="store_true",
+                      help="skip the ground-truth invariant checks (only "
+                           "compare cache configurations)")
+    fuzz.add_argument("--profile", choices=sorted(PROFILES), default="quick",
+                      help="verifier bounds / timeout profile (default: quick)")
+    fuzz.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                      help="per-task timeout in seconds (overrides the profile's)")
+    fuzz.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="worker processes (default: all CPUs; 1 = serial "
+                           "in-process)")
+    fuzz.add_argument("--resume", action="store_true",
+                      help="skip (benchmark, mode, variant) cells already in "
+                           "the output store")
+    fuzz.set_defaults(func=_cmd_fuzz)
+
     return parser
 
 
@@ -259,7 +306,8 @@ def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[Inference
         pack_benchmarks=pack.benchmark_names if pack is not None else None)
     if args.resume:
         if args.retry_failed:
-            completed = {(r.benchmark, r.mode, r.pack) for r in store.load() if r.succeeded}
+            completed = {(r.benchmark, r.mode, r.pack, r.variant)
+                         for r in store.load() if r.succeeded}
         else:
             completed = store.completed_keys()
         remaining = [task for task in tasks if task.resume_key not in completed]
@@ -289,7 +337,8 @@ def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[Inference
     # earlier sweeps with different benchmarks/modes (or a same-named pack
     # benchmark) written to the same file.
     return [result for result in store.load()
-            if (result.benchmark, result.mode, result.pack) in sweep_keys]
+            if (result.benchmark, result.mode, result.pack, result.variant)
+            in sweep_keys]
 
 
 # -- subcommands -----------------------------------------------------------------
@@ -442,6 +491,105 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
         print(f"  {mode:18s}: {rendered}")
     print(f"\nresults persisted to {args.output}")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .experiments.runner import ExperimentTask
+    from .gen.diff import VARIANT_NAMES, compare_stored, fuzz_module, variant_config
+    from .gen.modgen import generate_corpus, write_corpus
+    from .gen.shrink import shrink_module, write_reproducer
+
+    modes = args.modes if args.modes else list(DEFAULT_FUZZ_MODES)
+    for mode in modes:
+        if mode not in MODES:
+            raise SystemExit(f"unknown mode {mode!r} (see `python -m repro list --modes`)")
+    if args.count < 1:
+        raise SystemExit("--count must be at least 1")
+
+    corpus = generate_corpus(args.seed, args.count)
+    corpus_dir = os.path.join(args.out, "corpus")
+    write_corpus(corpus, corpus_dir)
+    print(f"generated {len(corpus)} module(s) (seed {args.seed}) -> {corpus_dir}")
+    pack = _register_pack(corpus_dir)
+    definitions = {module.name: module.definition for module in corpus}
+
+    profile = PROFILES[args.profile]
+    config = profile() if args.timeout is None else profile(args.timeout)
+    tasks = [ExperimentTask(benchmark=name, mode=mode,
+                            config=variant_config(config, variant),
+                            pack=pack.path, pack_name=pack.name, variant=variant)
+             for mode in modes for name in pack.benchmark_names
+             for variant in VARIANT_NAMES]
+    sweep_keys = {task.resume_key for task in tasks}
+
+    output = os.path.join(args.out, "results.jsonl")
+    store = ResultStore(output, pack=pack.name,
+                        pack_benchmarks=pack.benchmark_names)
+    if args.resume:
+        completed = store.completed_keys()
+        remaining = [task for task in tasks if task.resume_key not in completed]
+        skipped = len(tasks) - len(remaining)
+        if skipped:
+            print(f"resume: skipping {skipped} completed cell(s) found in {output}")
+        tasks = remaining
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    print(f"running {len(tasks)} task(s) ({len(corpus)} module(s) x "
+          f"{len(modes)} mode(s) x {len(VARIANT_NAMES)} cache variant(s)) "
+          f"with profile {args.profile!r}, {jobs} worker(s); results -> {output}")
+
+    def progress(result: InferenceResult) -> None:
+        print(f"  [{result.mode:17s}] {result.benchmark:30s} "
+              f"{result.variant or '-':9s} {result.status:18s} "
+              f"time={result.stats.total_time:.1f}s", flush=True)
+
+    if tasks:
+        if jobs == 1:
+            execute_tasks(tasks, progress=progress, store=store)
+        else:
+            ParallelRunner(jobs=jobs).run(tasks, progress=progress, store=store)
+
+    results = [result for result in store.load()
+               if (result.benchmark, result.mode, result.pack, result.variant)
+               in sweep_keys]
+    report = compare_stored(results, definitions, modes=modes,
+                            check_oracle=not args.no_oracle, config=config)
+    print()
+    print(report.summary())
+    for failure in report.oracle_failures:
+        print(f"  oracle: {failure.benchmark} [{failure.mode}/{failure.variant}]: "
+              f"{failure.reason}")
+    for mismatch in report.mismatches:
+        print()
+        print(mismatch.describe())
+
+    if report.mismatches and args.shrink:
+        reproducer_dir = os.path.join(args.out, "reproducers")
+        shrunk = set()
+        for mismatch in report.mismatches:
+            if mismatch.benchmark in shrunk:
+                continue
+            shrunk.add(mismatch.benchmark)
+            definition = definitions[mismatch.benchmark]
+
+            def still_fails(candidate, _mode=mismatch.mode):
+                rerun = fuzz_module(candidate, modes=(_mode,), config=config,
+                                    require_success=(), check_oracle=False)
+                return bool(rerun.mismatches)
+
+            try:
+                minimal = shrink_module(definition, still_fails)
+            except ValueError as exc:
+                # A store-only mismatch that does not reproduce in-process
+                # (e.g. a flaky timeout); report it, keep the full module.
+                print(f"  shrink: {mismatch.benchmark}: {exc}")
+                minimal = definition
+            path = write_reproducer(minimal, reproducer_dir)
+            print(f"  reproducer: {path} "
+                  f"({len(minimal.operations)} operation(s), "
+                  f"{len(minimal.source.strip().splitlines())} source line(s))")
+
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

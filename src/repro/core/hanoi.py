@@ -115,7 +115,35 @@ class HanoiInference:
                 iterations += 1
                 self.deadline.check()
 
-                candidate = self._next_candidate(positives, negatives)
+                try:
+                    candidate = self._next_candidate(positives, negatives)
+                except SynthesisFailure:
+                    # Trace completeness pads unknown sub-values of examples
+                    # to false (Section 4.3).  When such a value is in fact
+                    # constructible, no candidate can separate the padded
+                    # example sets even though an invariant exists; the fix
+                    # the padding relies on - a visible check moving the
+                    # value into V+ - never runs if synthesis dies first.
+                    # Recover by growing V+ with outputs the module produces
+                    # from known-constructible inputs, then resynthesize.
+                    closure = self.checker.check(
+                        p=lambda v: v in positives,
+                        q=lambda v: v in positives,
+                        p_pool=positives,
+                    )
+                    if not isinstance(closure, InductivenessCounterexample):
+                        raise
+                    new_positives = set(closure.outputs) - positives
+                    if not new_positives:
+                        raise
+                    self._log("synthesis-recovery", None,
+                              operation=closure.operation,
+                              added=[str(v) for v in
+                                     sorted(new_positives, key=value_size)])
+                    positives |= new_positives
+                    self.stats.positives_added += len(new_positives)
+                    negatives = self._reset_negatives(new_positives, positives)
+                    continue
                 self.stats.candidates_proposed += 1
 
                 # -- ClosedPositives: weaken until visibly inductive ------------------

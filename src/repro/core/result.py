@@ -66,6 +66,11 @@ class InferenceResult:
     #: Name of the benchmark pack the benchmark came from (None = built-in
     #: suite).  Stamped by the result store when a sweep runs with ``--pack``.
     pack: Optional[str] = None
+    #: Configuration-variant tag (None = the sweep's single configuration).
+    #: The differential fuzzer runs every benchmark under several cache
+    #: configurations; the tag keeps their rows distinct in the store the way
+    #: ``pack`` keeps same-named benchmarks distinct.
+    variant: Optional[str] = None
 
     @property
     def succeeded(self) -> bool:
@@ -121,6 +126,8 @@ class InferenceResult:
         }
         if self.pack is not None:
             data["pack"] = self.pack
+        if self.variant is not None:
+            data["variant"] = self.variant
         return data
 
     @classmethod
@@ -143,4 +150,5 @@ class InferenceResult:
             iterations=int(data.get("iterations", 0)),
             events=list(data.get("events", [])),
             pack=data.get("pack"),
+            variant=data.get("variant"),
         )

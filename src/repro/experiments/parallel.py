@@ -49,6 +49,7 @@ def _result_payload(task: ExperimentTask, status: str, message: str,
         invariant=None,
         stats=stats,
         message=message,
+        variant=task.variant,
     ).to_dict()
 
 

@@ -158,6 +158,11 @@ class ExperimentTask:
     processes that did not inherit the parent's registry.  ``pack_name`` is
     the pack's registered name (the tag the result store writes), so resume
     bookkeeping can tell a pack benchmark from a same-named built-in.
+
+    ``variant`` tags a configuration variant: the differential fuzzer runs
+    the same ``(benchmark, mode)`` pair under several cache configurations
+    and needs their rows to coexist in one store.  Ordinary sweeps leave it
+    ``None``.
     """
 
     benchmark: str
@@ -165,6 +170,7 @@ class ExperimentTask:
     config: Optional[HanoiConfig] = None
     pack: Optional[str] = None
     pack_name: Optional[str] = None
+    variant: Optional[str] = None
 
     @property
     def key(self) -> Tuple[str, str]:
@@ -173,14 +179,15 @@ class ExperimentTask:
         return (self.benchmark, self.mode)
 
     @property
-    def resume_key(self) -> Tuple[str, str, Optional[str]]:
+    def resume_key(self) -> Tuple[str, str, Optional[str], Optional[str]]:
         """The identity used for resume bookkeeping.
 
         Includes the pack tag, so a pack benchmark named like a built-in
         neither supersedes it in the store nor causes ``--resume`` to skip
-        the other one.
+        the other one, and the variant tag, so one cache configuration's row
+        never satisfies a resume check for another.
         """
-        return (self.benchmark, self.mode, self.pack_name)
+        return (self.benchmark, self.mode, self.pack_name, self.variant)
 
 
 def expand_tasks(names: Optional[Iterable[str]] = None,
@@ -224,7 +231,12 @@ def execute_task(task: ExperimentTask) -> InferenceResult:
         from ..spec.pack import ensure_pack_registered
 
         ensure_pack_registered(task.pack)
-    return run_module(get_benchmark(task.benchmark), mode=task.mode, config=task.config)
+    result = run_module(get_benchmark(task.benchmark), mode=task.mode, config=task.config)
+    if task.variant is not None:
+        # Stamped here (not in the store) so the tag survives the worker
+        # boundary: the parallel runner ships results as dict payloads.
+        result.variant = task.variant
+    return result
 
 
 def execute_tasks(tasks: Sequence[ExperimentTask],

@@ -87,21 +87,24 @@ class ResultStore:
         """Every stored result, in file (completion) order.
 
         Later entries win over earlier ones for the same ``(benchmark, mode,
-        pack)`` key, so re-running a pair into the same store supersedes its
-        old row.  The pack tag is part of the key: a pack benchmark named
-        like a built-in coexists with it instead of silently superseding it.
+        pack, variant)`` key, so re-running a pair into the same store
+        supersedes its old row.  The pack tag is part of the key: a pack
+        benchmark named like a built-in coexists with it instead of silently
+        superseding it.  So is the variant tag: the differential fuzzer's
+        cache-configuration rows for one pair all coexist.
         """
         by_key = {}
         for record in self._iter_records():
             result = InferenceResult.from_dict(record)
-            by_key[(result.benchmark, result.mode, result.pack)] = result
+            by_key[(result.benchmark, result.mode, result.pack, result.variant)] = result
         return list(by_key.values())
 
-    def completed_keys(self) -> Set[Tuple[str, str, Optional[str]]]:
-        """The ``(benchmark, mode, pack)`` keys already recorded - what
-        ``--resume`` matches an :class:`~repro.experiments.runner
+    def completed_keys(self) -> Set[Tuple[str, str, Optional[str], Optional[str]]]:
+        """The ``(benchmark, mode, pack, variant)`` keys already recorded -
+        what ``--resume`` matches an :class:`~repro.experiments.runner
         .ExperimentTask.resume_key` against."""
-        return {(record.get("benchmark"), record.get("mode"), record.get("pack"))
+        return {(record.get("benchmark"), record.get("mode"), record.get("pack"),
+                 record.get("variant"))
                 for record in self._iter_records()}
 
     def completed_pairs(self) -> Set[Tuple[str, str]]:

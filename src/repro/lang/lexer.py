@@ -43,6 +43,7 @@ _STRING_ESCAPES = {
     "\\": "\\",
     '"': '"',
     "n": "\n",
+    "r": "\r",
     "t": "\t",
 }
 

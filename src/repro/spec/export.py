@@ -36,7 +36,18 @@ _ALIAS_CANDIDATES = ("t", "abs_t", "alpha", "t0", "t1", "t2")
 
 def _escape(text: str) -> str:
     return (text.replace("\\", "\\\\").replace('"', '\\"')
-            .replace("\n", "\\n").replace("\t", "\\t"))
+            .replace("\n", "\\n").replace("\r", "\\r").replace("\t", "\\t"))
+
+
+def _comment_safe(text: str) -> str:
+    """Collapse whitespace and defuse comment delimiters for the header.
+
+    The header comment is purely cosmetic; a benchmark name or description
+    containing ``*)`` (or an unbalanced ``(*``) must not be able to terminate
+    - or open - the OCaml-style comment it is quoted inside.
+    """
+    text = " ".join(text.split())
+    return text.replace("(*", "( *").replace("*)", "* )")
 
 
 def _pick_alias(definition: ModuleDefinition) -> str:
@@ -57,9 +68,9 @@ def render_module(definition: ModuleDefinition,
     """Render a module definition as ``.hanoi`` text."""
     alias = abstract_alias or _pick_alias(definition)
     lines: List[str] = []
-    header = definition.name
-    if definition.description and "*)" not in definition.description:
-        header += ": " + " ".join(definition.description.split())
+    header = _comment_safe(definition.name)
+    if definition.description:
+        header += ": " + _comment_safe(definition.description)
     lines.append(f"(* {header} *)")
     lines.append("")
     lines.append(f'benchmark "{_escape(definition.name)}"')

@@ -257,13 +257,25 @@ def _single(parser: _SpecParser, kind: str) -> Optional[_Directive]:
 
 
 def _blanked_module_source(text: str, parser: _SpecParser) -> str:
-    """The file text with directive lines (and the expected block) blanked."""
-    lines = text.splitlines()
+    """The file text with directive lines (and the expected block) blanked.
+
+    Lines are split on ``"\\n"`` only, matching how the lexer counts them -
+    ``str.splitlines`` also breaks on carriage returns and would desync the
+    blanking from the directive spans for files with ``\\r`` inside strings.
+
+    Everything before the first module declaration is blanked too: only
+    directives, comments, and blank lines can appear there, and keeping the
+    file-header comment in the module source would make every
+    export -> load -> export cycle stack another copy of it on top.
+    """
+    lines = text.split("\n")
     blank = set()
     for directive in parser.directives:
         blank.update(range(directive.line, directive.end_line + 1))
     if parser.expected_directive is not None:
         blank.update(range(parser.expected_directive.line, len(lines) + 1))
+    if parser.module_decls:
+        blank.update(range(1, min(d.line for d in parser.module_decls)))
     for spanned in parser.module_decls:
         overlap = blank.intersection(range(spanned.line, spanned.end_line + 1))
         if overlap:

@@ -21,6 +21,13 @@ from repro.suite.registry import get_benchmark
 LIST_SET_NAME = "/coq/unique-list-::-set"
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "fuzz: property-based generator / differential-fuzzing tests "
+        "(deselect with `-m 'not fuzz'`; deep sweeps gate on FUZZ_FULL=1)")
+
+
 @pytest.fixture(scope="session")
 def fast_config() -> HanoiConfig:
     """The configuration used by end-to-end tests."""

@@ -1,0 +1,85 @@
+"""Regression: synthesis failure on trace-padded examples must recover.
+
+Section 4.3's trace completeness pads unknown sub-values of examples to
+*false*; the padding is sound only because a later visible-inductiveness
+check is supposed to move any constructible padded value into V+.  Before
+the recovery path in ``HanoiInference.infer`` existed, a ``SynthesisFailure``
+terminated the loop *before* any such check could run: on this bound-3
+container (found by the differential fuzzer, ``/gen/bounded-14``) the padded
+length-3 sub-chain of a length-4 negative makes ``valid`` inconsistent with
+the example sets, every candidate body is rejected, and inference reported
+``synthesis-failure`` even though ``valid`` is a perfectly good invariant.
+
+The fix runs a V+-closure check on synthesis failure, promotes constructible
+outputs into V+, and resynthesizes; this module must now succeed and the
+event log must show the recovery firing.
+"""
+
+import pytest
+
+from repro.core.config import FAST_VERIFIER_BOUNDS, HanoiConfig
+from repro.core.result import Status
+from repro.experiments.runner import run_module
+from repro.spec import load_module_text
+
+CAP3_MODULE = '''\
+benchmark "/test/cap3-stack"
+group test
+description "Bound-3 container whose padded sub-traces defeat one-shot synthesis."
+
+abstract type t = list
+
+operation empty : t
+operation push : t -> nat -> t
+operation pop : t -> t
+spec spec : t -> bool
+helpers valid
+
+type list = Nil | Cons of nat * list
+
+let empty : list = Nil
+
+let rec size (s : list) : nat =
+  match s with
+  | Nil -> O
+  | Cons (hd, tl) -> S (size tl)
+
+let valid (s : list) : bool =
+  nat_leq (size s) 3
+
+let push (s : list) (x : nat) : list =
+  if nat_lt (size s) 3 then Cons (x, s) else s
+
+let pop (s : list) : list =
+  match s with
+  | Nil -> Nil
+  | Cons (hd, tl) -> tl
+
+let spec (s : list) : bool =
+  valid s
+
+expected invariant
+let expected (s : list) : bool =
+  nat_leq (size s) 3
+'''
+
+
+@pytest.fixture(scope="module")
+def recovery_result():
+    definition = load_module_text(CAP3_MODULE)
+    config = HanoiConfig(verifier_bounds=FAST_VERIFIER_BOUNDS,
+                         timeout_seconds=90)
+    return run_module(definition, mode="hanoi", config=config)
+
+
+def test_inference_succeeds_despite_padding(recovery_result):
+    assert recovery_result.status == Status.SUCCESS, recovery_result.message
+    assert "valid" in recovery_result.render_invariant()
+
+
+def test_recovery_events_are_logged(recovery_result):
+    recoveries = [event for event in recovery_result.events
+                  if event.get("event") == "synthesis-recovery"]
+    assert recoveries, "the V+-closure recovery never fired"
+    # Each recovery names the operation whose closure counterexample grew V+.
+    assert all(event.get("operation") for event in recoveries)

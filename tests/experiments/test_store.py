@@ -107,8 +107,8 @@ def test_pack_benchmark_does_not_collide_with_same_named_builtin(tmp_path, solve
     assert by_pack["my-pack"].message == "from the pack"
 
     assert store.completed_keys() == {
-        (BENCHMARK, "hanoi", None),
-        (BENCHMARK, "hanoi", "my-pack"),
+        (BENCHMARK, "hanoi", None, None),
+        (BENCHMARK, "hanoi", "my-pack", None),
     }
     # The pack-blind view still collapses them (legacy callers).
     assert store.completed_pairs() == {(BENCHMARK, "hanoi")}
@@ -139,13 +139,13 @@ def test_task_resume_keys_distinguish_packs(solved_result):
                             pack="/tmp/my-pack", pack_name="my-pack")
     assert builtin.key == packed.key  # the pack-blind identity
     assert builtin.resume_key != packed.resume_key
-    assert packed.resume_key == (BENCHMARK, "hanoi", "my-pack")
+    assert packed.resume_key == (BENCHMARK, "hanoi", "my-pack", None)
 
     # expand_tasks tags only the pack's benchmarks with the pack name.
     tasks = expand_tasks([BENCHMARK, "pack-only"], modes="hanoi",
                          pack="/tmp/my-pack", pack_benchmarks=["pack-only"])
     keyed = {task.benchmark: task for task in tasks}
-    assert keyed[BENCHMARK].resume_key == (BENCHMARK, "hanoi", None)
-    assert keyed["pack-only"].resume_key == ("pack-only", "hanoi", "my-pack")
+    assert keyed[BENCHMARK].resume_key == (BENCHMARK, "hanoi", None, None)
+    assert keyed["pack-only"].resume_key == ("pack-only", "hanoi", "my-pack", None)
     # Both carry the pack path so pool workers can register it.
     assert all(task.pack == "/tmp/my-pack" for task in tasks)

@@ -1,0 +1,56 @@
+"""Hash-seed independence: identical corpora under any ``PYTHONHASHSEED``.
+
+The fuzzer's resume and cross-run comparison logic assumes a seed names one
+corpus forever.  Python's string hashing is randomized per process, so any
+code path that iterates a set or hash-ordered dict would break that silently;
+these tests run the generator in subprocesses pinned to three different hash
+seeds and require byte-identical corpora.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.fuzz
+
+_REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+_SNIPPET = (
+    "from repro.gen.modgen import corpus_digest, generate_corpus\n"
+    "print(corpus_digest(generate_corpus(11, 15)))\n"
+)
+
+
+def _digest_under_hashseed(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = os.path.join(_REPO, "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True, text=True, env=env, cwd=_REPO, check=True)
+    return proc.stdout.strip()
+
+
+def test_corpus_digest_is_hashseed_independent():
+    digests = {seed: _digest_under_hashseed(seed) for seed in ("0", "1", "2")}
+    assert len(set(digests.values())) == 1, digests
+
+
+def test_rendered_text_is_hashseed_independent():
+    snippet = (
+        "from repro.gen.modgen import generate_module\n"
+        "from repro.spec import render_module\n"
+        "import sys\n"
+        "sys.stdout.write(render_module(generate_module(42).definition))\n"
+    )
+    outputs = set()
+    for hashseed in ("0", "1", "2"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = os.path.join(_REPO, "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True, text=True, env=env, cwd=_REPO, check=True)
+        outputs.add(proc.stdout)
+    assert len(outputs) == 1

@@ -1,0 +1,160 @@
+"""The differential harness itself: variant matrix, fingerprints, faults.
+
+``repro.gen.diff`` promises that a clean run of a generated module produces
+an ``ok`` report, that any disagreement between cache variants (including a
+missing variant) surfaces as a mismatch, and that the test-only fault hooks
+corrupt exactly the cell they claim to.  The in-process and stored-result
+paths are both covered - the CLI uses the latter.
+"""
+
+import os
+
+import pytest
+
+from repro.core.result import InferenceResult, Status, StoredInvariant
+from repro.core.stats import InferenceStats
+from repro.gen.diff import (
+    CACHE_VARIANTS,
+    FAULT_ENV_VAR,
+    VARIANT_NAMES,
+    compare_stored,
+    fuzz_corpus,
+    fuzz_module,
+    outcome_fingerprint,
+    variant_config,
+)
+from repro.gen.modgen import generate_corpus, generate_module
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.fixture(scope="module")
+def module_zero():
+    return generate_module(0)
+
+
+def test_variant_config_toggles_both_caches(fast_config):
+    for name, (eval_on, pool_on) in CACHE_VARIANTS:
+        applied = variant_config(fast_config, name)
+        assert applied.evaluation_caching is eval_on
+        assert applied.synthesis_evaluation_caching is pool_on
+
+
+def test_variant_config_rejects_unknown_tag(fast_config):
+    with pytest.raises(KeyError):
+        variant_config(fast_config, "turbo")
+
+
+def test_fingerprint_ignores_stats():
+    """Two runs differing only in timing/cache counters fingerprint equal."""
+    def result(stats):
+        return InferenceResult(
+            benchmark="/x", mode="hanoi", status=Status.SUCCESS,
+            invariant=StoredInvariant(size=3, rendered="let inv x = valid x"),
+            stats=stats, iterations=4)
+    fast = InferenceStats.from_dict({"wall_seconds": 0.1, "eval_cache_hits": 900})
+    slow = InferenceStats.from_dict({"wall_seconds": 9.9, "eval_cache_hits": 0})
+    assert outcome_fingerprint(result(fast)) == outcome_fingerprint(result(slow))
+
+
+def test_clean_generated_module_fuzzes_ok(fast_config, module_zero):
+    report = fuzz_module(module_zero.definition, modes=("hanoi",),
+                         config=fast_config)
+    assert report.ok, report.summary()
+    assert report.runs == len(VARIANT_NAMES)
+    assert report.benchmarks == [module_zero.name]
+    assert "ok" in report.summary()
+
+
+def test_fault_hook_surfaces_as_mismatch(fast_config, module_zero):
+    def corrupt(benchmark, mode, variant, fingerprint):
+        if variant == "no-caches":
+            return dict(fingerprint, status="fault-injected")
+        return fingerprint
+
+    report = fuzz_module(module_zero.definition, modes=("hanoi",),
+                         config=fast_config, require_success=(),
+                         check_oracle=False, fault=corrupt)
+    assert not report.ok
+    assert len(report.mismatches) == 1
+    described = report.mismatches[0].describe()
+    assert "no-caches" in described and "fault-injected" in described
+
+
+def test_env_fault_hook_targets_named_operation(fast_config, module_zero,
+                                                monkeypatch):
+    operation = module_zero.definition.operations[0].name
+    monkeypatch.setenv(FAULT_ENV_VAR, operation)
+    report = fuzz_module(module_zero.definition, modes=("hanoi",),
+                         config=fast_config, require_success=(),
+                         check_oracle=False)
+    assert len(report.mismatches) == 1
+    monkeypatch.setenv(FAULT_ENV_VAR, "no_module_defines_this")
+    report = fuzz_module(module_zero.definition, modes=("hanoi",),
+                         config=fast_config, require_success=(),
+                         check_oracle=False)
+    assert report.ok
+
+
+def test_fuzz_corpus_accepts_generated_wrappers(fast_config, module_zero):
+    seen = []
+    report = fuzz_corpus([module_zero], modes=("hanoi",), config=fast_config,
+                         progress=lambda name, rep: seen.append(name))
+    assert report.ok
+    assert seen == [module_zero.name]
+
+
+def _stored(benchmark, variant, status=Status.SUCCESS, invariant="valid x"):
+    return InferenceResult(
+        benchmark=benchmark, mode="hanoi", status=status,
+        invariant=StoredInvariant(size=2, rendered=invariant),
+        stats=InferenceStats.from_dict({}), iterations=1, variant=variant)
+
+
+def test_compare_stored_passes_on_agreement(module_zero):
+    rows = [_stored(module_zero.name, v) for v in VARIANT_NAMES]
+    report = compare_stored(rows, {module_zero.name: module_zero.definition},
+                            modes=("hanoi",), require_success=(),
+                            check_oracle=False)
+    assert report.ok
+    assert report.runs == len(VARIANT_NAMES)
+
+
+def test_compare_stored_flags_divergent_variant(module_zero):
+    rows = [_stored(module_zero.name, v) for v in VARIANT_NAMES[:-1]]
+    rows.append(_stored(module_zero.name, VARIANT_NAMES[-1],
+                        invariant="some_other x"))
+    report = compare_stored(rows, {module_zero.name: module_zero.definition},
+                            modes=("hanoi",), require_success=(),
+                            check_oracle=False)
+    assert [m.mode for m in report.mismatches] == ["hanoi"]
+
+
+def test_compare_stored_flags_missing_variant(module_zero):
+    rows = [_stored(module_zero.name, v) for v in VARIANT_NAMES[:-1]]
+    report = compare_stored(rows, {module_zero.name: module_zero.definition},
+                            modes=("hanoi",), require_success=(),
+                            check_oracle=False)
+    assert len(report.mismatches) == 1
+    assert "(missing)" in report.mismatches[0].describe()
+
+
+@pytest.mark.skipif(not os.environ.get("FUZZ_FULL"),
+                    reason="deep in-process sweep; set FUZZ_FULL=1 (nightly CI)")
+def test_deep_corpus_differential_sweep(fast_config):
+    report = fuzz_corpus(generate_corpus(1, 8), modes=("hanoi", "oneshot"),
+                         config=fast_config)
+    assert report.ok, report.summary() + "".join(
+        "\n" + m.describe() for m in report.mismatches) + "".join(
+        "\n" + f.describe() for f in report.oracle_failures)
+
+
+def test_compare_stored_requires_success_when_asked(module_zero):
+    rows = [_stored(module_zero.name, v, status=Status.SYNTHESIS_FAILURE,
+                    invariant="(none)") for v in VARIANT_NAMES]
+    report = compare_stored(rows, {module_zero.name: module_zero.definition},
+                            modes=("hanoi",), require_success=("hanoi",),
+                            check_oracle=False)
+    assert not report.mismatches  # the variants *agree* - on failing
+    assert len(report.oracle_failures) == 1
+    assert "expected success" in report.oracle_failures[0].describe()
