@@ -66,3 +66,74 @@ def test_full_inductiveness_check(benchmark, listset_instance):
         listset_instance.program,
     )
     benchmark(lambda: checker.check(invariant, invariant))
+
+
+def test_inductiveness_check_traced(benchmark, listset_instance):
+    """Cost of the same check with tracing *on* (records fed to a no-op
+    sink), so the price of live instrumentation stays visible next to the
+    untraced number above."""
+    from repro.obs.events import Emitter
+
+    class NullSink:
+        def handle(self, record):
+            pass
+
+    checker = ConditionalInductivenessChecker(
+        listset_instance, bounds=FAST_VERIFIER_BOUNDS,
+        emitter=Emitter(sinks=[NullSink()], run="bench/traced"))
+    invariant = Predicate.from_source(
+        get_benchmark("/coq/unique-list-::-set").expected_invariant,
+        listset_instance.program,
+    )
+    benchmark(lambda: checker.check(invariant, invariant))
+
+
+def test_disabled_tracing_overhead_under_two_percent(listset_instance):
+    """Zero-cost-when-off guard: components default to the shared disabled
+    emitter, whose check is one attribute load and branch before the
+    pre-observability code path.  Measured against the bare (un-wrapped)
+    check body, the overhead must stay under 2%."""
+    import time as _time
+
+    checker = ConditionalInductivenessChecker(listset_instance, bounds=FAST_VERIFIER_BOUNDS)
+    invariant = Predicate.from_source(
+        get_benchmark("/coq/unique-list-::-set").expected_invariant,
+        listset_instance.program,
+    )
+    assert not checker.emitter.enabled  # the default IS the disabled path
+
+    def instrumented():
+        checker.check(invariant, invariant)
+
+    def bare():
+        # The exact pre-observability body: timer context + check.
+        with checker.stats.verification():
+            checker._check(invariant, invariant, None)
+
+    instrumented(), bare()  # warm up
+
+    def paired_minimums(repeats=9, calls=3):
+        """Interleave A/B timing so clock drift hits both sides equally."""
+        best_a = best_b = float("inf")
+        for _ in range(repeats):
+            start = _time.perf_counter()
+            for _ in range(calls):
+                instrumented()
+            best_a = min(best_a, _time.perf_counter() - start)
+            start = _time.perf_counter()
+            for _ in range(calls):
+                bare()
+            best_b = min(best_b, _time.perf_counter() - start)
+        return best_a, best_b
+
+    # Min-of-repeats damps scheduler noise; retry twice more before
+    # declaring a >2% regression so one noisy attempt cannot fail the guard
+    # (a real formatting-on-the-hot-path bug fails every attempt).
+    for _ in range(3):
+        with_obs, without_obs = paired_minimums()
+        if with_obs <= without_obs * 1.02:
+            return
+    raise AssertionError(
+        f"disabled tracing costs {(with_obs / without_obs - 1):.1%} "
+        f"(> 2%) on a full inductiveness check: {with_obs:.4f}s vs "
+        f"{without_obs:.4f}s")

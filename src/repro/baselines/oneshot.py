@@ -28,6 +28,7 @@ from ..enumeration.values import ValueEnumerator
 from ..inductive.relation import ConditionalInductivenessChecker
 from ..lang.types import mentions_abstract
 from ..lang.values import Value, bool_of_value
+from ..obs.sinks import emitter_for_run
 from ..synth.base import SynthesisFailure
 from ..synth.myth import MythSynthesizer
 from ..synth.poolcache import SynthesisEvaluationCache
@@ -48,21 +49,28 @@ class OneShotInference:
 
     def __init__(self, module: ModuleDefinition, config: Optional[HanoiConfig] = None,
                  synthesizer_factory: Optional[SynthesizerFactory] = None,
-                 sample_size: int = ONESHOT_SAMPLE):
+                 sample_size: int = ONESHOT_SAMPLE,
+                 emitter: Optional[object] = None):
         self.config = config or HanoiConfig()
         self.definition = module
         self.instance = module.instantiate(fuel=self.config.eval_fuel)
         self.sample_size = sample_size
         self.stats = InferenceStats()
         self.deadline = self.config.deadline()
+        # Baselines emit spans only, never legacy loop events, so their
+        # ``InferenceResult.events`` (and stored rows) stay exactly as before.
+        self.emitter = emitter if emitter is not None else (
+            emitter_for_run(f"{module.name}/{self.MODE}"))
         self.enumerator = ValueEnumerator(self.instance.program.types)
         eval_cache = EvaluationCache() if self.config.evaluation_caching else None
         self.verifier = Verifier(self.instance, self.enumerator, self.config.verifier_bounds,
-                                 self.stats, self.deadline, eval_cache=eval_cache)
+                                 self.stats, self.deadline, eval_cache=eval_cache,
+                                 emitter=self.emitter)
         self.checker = ConditionalInductivenessChecker(
             self.instance, self.enumerator, FunctionEnumerator(self.instance),
             self.config.verifier_bounds, self.stats, self.deadline,
             eval_cache=eval_cache,
+            emitter=self.emitter,
         )
         self.pool_cache = (
             SynthesisEvaluationCache() if self.config.synthesis_evaluation_caching else None
@@ -72,8 +80,26 @@ class OneShotInference:
             self.instance, bounds=self.config.synthesis_bounds,
             stats=self.stats, deadline=self.deadline, pool_cache=self.pool_cache,
         )
+        try:
+            self.synthesizer.emitter = self.emitter
+        except AttributeError:
+            pass
 
     def infer(self) -> InferenceResult:
+        emitter = self.emitter
+        if not emitter.enabled:
+            return self._infer()
+        with emitter.span("run", {"benchmark": self.definition.name,
+                                  "mode": self.MODE}, cat="run"):
+            emitter.emit("run-start", {"benchmark": self.definition.name,
+                                       "mode": self.MODE}, cat="run")
+            result = self._infer()
+            emitter.emit("run-end", {"status": result.status,
+                                     "iterations": result.iterations,
+                                     "stats": self.stats.counters()}, cat="run")
+        return result
+
+    def _infer(self) -> InferenceResult:
         definition = self.definition
         if definition.spec_abstract_arity != 1:
             return self._result(
@@ -133,13 +159,15 @@ class OneShotInference:
 
         samples = self.enumerator.smallest(self.instance.concrete_type, self.sample_size)
         positives, negatives = [], []
-        with self.stats.verification():
-            for value in samples:
-                self.deadline.check()
-                if self._satisfies_spec(value, abstract_index, base_pools):
-                    positives.append(value)
-                else:
-                    negatives.append(value)
+        with self.emitter.span("oneshot-labelling",
+                               {"samples": len(samples)} if self.emitter.enabled else None):
+            with self.stats.verification():
+                for value in samples:
+                    self.deadline.check()
+                    if self._satisfies_spec(value, abstract_index, base_pools):
+                        positives.append(value)
+                    else:
+                        negatives.append(value)
         return positives, negatives
 
     def _satisfies_spec(self, value: Value, abstract_index: int,

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command-line interface.
 
-Seven subcommands drive the reproduction:
+Eight subcommands drive the reproduction:
 
 ``run``
     Execute a benchmark sweep - by default the fast subset under the Hanoi
@@ -41,16 +41,29 @@ Seven subcommands drive the reproduction:
     Mismatching modules are shrunk to minimal ``.hanoi`` reproducers (see
     docs/fuzzing.md).
 
+``trace``
+    Analyze a JSONL trace written with ``--trace``: per-phase time breakdown,
+    cache hit-rate tables cross-checked against the stats counters, the
+    slowest spans, and an optional Chrome trace-event export (see
+    docs/observability.md).
+
+The ``run``, ``infer``, ``figure8``, and ``fuzz`` subcommands all accept
+``--trace PATH`` (record every inference event/span to a crash-safe JSONL
+file) and ``--live`` (print compact progress lines from the event stream;
+with ``--jobs`` > 1, workers stream their events to the parent process).
+
 Examples::
 
     python -m repro run --jobs 4 --profile quick --output results.jsonl
     python -m repro run --pack my-modules/ --output pack-results.jsonl
+    python -m repro run --trace trace.jsonl --live
     python -m repro infer examples/modules/bounded-stack.hanoi
     python -m repro export --out exported/
     python -m repro report results.jsonl --csv results.csv
     python -m repro list --group coq --fast
     python -m repro figure8 --modes hanoi conj-str oneshot --jobs 8
     python -m repro fuzz --seed 0 --count 25 --out fuzz-out/
+    python -m repro trace trace.jsonl --chrome chrome.json
 """
 
 from __future__ import annotations
@@ -58,9 +71,11 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 from .core.result import InferenceResult
+from .obs import analyze as trace_analyze
 from .experiments.figure8 import completion_series
 from .experiments.parallel import ParallelRunner
 from .experiments.report import (
@@ -93,6 +108,47 @@ from .suite.registry import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every inference-running subcommand."""
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record every inference event/span to a JSONL "
+                             "trace file (analyze with `python -m repro trace`)")
+    parser.add_argument("--live", action="store_true",
+                        help="print compact live progress lines from the "
+                             "event stream (workers stream to the parent)")
+    # Marks commands that *run* inference: the `trace` subcommand also has an
+    # `args.trace` (the file it analyzes) and must not get a sink installed.
+    parser.set_defaults(_traced=True)
+
+
+@contextmanager
+def _tracing(args: argparse.Namespace) -> Iterator[None]:
+    """Install the sinks a command's ``--trace`` / ``--live`` flags ask for,
+    for the duration of the command; close the trace file afterwards.
+
+    Installed process-globally (:func:`~repro.obs.sinks.install_sink`), so
+    every inference run the command constructs - in-process or, via the
+    parallel runner's event queue, in worker processes - feeds them.
+    """
+    from .obs.sinks import JsonlTraceSink, LiveRenderer, install_sink, uninstall_sink
+
+    sinks = []
+    if not getattr(args, "_traced", False):
+        yield
+        return
+    if getattr(args, "trace", None):
+        sinks.append(install_sink(JsonlTraceSink(args.trace)))
+    if getattr(args, "live", False):
+        sinks.append(install_sink(LiveRenderer()))
+    try:
+        yield
+    finally:
+        for sink in sinks:
+            uninstall_sink(sink)
+            if hasattr(sink, "close"):
+                sink.close()
 
 
 def _add_sweep_arguments(parser: argparse.ArgumentParser, default_output: str) -> None:
@@ -141,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser(
         "run", help="run a benchmark sweep in parallel, persisting results to JSONL")
     _add_sweep_arguments(run, default_output="results.jsonl")
+    _add_trace_arguments(run)
     run.add_argument("--modes", nargs="*", default=["hanoi"], metavar="MODE",
                      help=f"modes to run (default: hanoi; known: {' '.join(sorted(MODES))})")
     run.set_defaults(func=_cmd_run)
@@ -171,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable cross-iteration verification evaluation caching")
     infer.add_argument("--no-pool-cache", action="store_true",
                        help="disable cross-iteration synthesis term-pool caching")
+    _add_trace_arguments(infer)
     infer.set_defaults(func=_cmd_infer)
 
     export = subparsers.add_parser(
@@ -193,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure8 = subparsers.add_parser(
         "figure8", help="the six-mode comparison sweep of the paper's Figure 8")
     _add_sweep_arguments(figure8, default_output="figure8.jsonl")
+    _add_trace_arguments(figure8)
     figure8.add_argument("--modes", nargs="*", default=None, metavar="MODE",
                          help=f"modes to compare (default: {' '.join(FIGURE8_MODES)})")
     figure8.set_defaults(func=_cmd_figure8)
@@ -231,7 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--resume", action="store_true",
                       help="skip (benchmark, mode, variant) cells already in "
                            "the output store")
+    _add_trace_arguments(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    trace = subparsers.add_parser(
+        "trace", help="analyze a JSONL trace written with --trace "
+                      "(phase breakdown, cache hit rates, Chrome export)")
+    trace_analyze.add_arguments(trace)
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 
@@ -493,6 +559,10 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    return trace_analyze.run(args)
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .experiments.runner import ExperimentTask
     from .gen.diff import VARIANT_NAMES, compare_stored, fuzz_module, variant_config
@@ -596,7 +666,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        with _tracing(args):
+            return args.func(args)
     except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
         print("\ninterrupted; completed results are persisted and resumable "
               "with --resume", file=sys.stderr)

@@ -35,6 +35,8 @@ from ..enumeration.functions import FunctionEnumerator
 from ..enumeration.values import ValueEnumerator
 from ..inductive.relation import ConditionalInductivenessChecker
 from ..lang.values import Value, value_size
+from ..obs.events import Emitter, LegacyRecorder
+from ..obs.sinks import LegacyEventSink, installed_sinks
 from ..synth.base import SynthesisFailure
 from ..synth.cache import SynthesisResultCache
 from ..synth.myth import MythSynthesizer
@@ -59,11 +61,30 @@ class HanoiInference:
 
     def __init__(self, module: ModuleDefinition, config: Optional[HanoiConfig] = None,
                  synthesizer_factory: Optional[SynthesizerFactory] = None,
-                 mode_name: str = "hanoi"):
+                 mode_name: str = "hanoi", emitter: Optional[object] = None):
         self.config = config or HanoiConfig()
         self.definition = module
         self.instance: ModuleInstance = module.instantiate(fuel=self.config.eval_fuel)
         self.mode_name = mode_name
+
+        # The run always needs its legacy event log (it populates
+        # ``InferenceResult.events``); spans and the rest of the trace stream
+        # exist only when tracing is on.  With no emitter supplied and no sink
+        # installed, the LegacyRecorder keeps the run exactly as cheap as the
+        # seed's ad-hoc ``self.events.append``.
+        if emitter is None:
+            sinks = installed_sinks()
+            if sinks:
+                emitter = Emitter(sinks=sinks, run=f"{module.name}/{mode_name}")
+            else:
+                emitter = LegacyRecorder()
+        if isinstance(emitter, Emitter):
+            self._legacy = LegacyEventSink()
+            emitter.sinks.append(self._legacy)
+            self.events: List[dict] = self._legacy.events
+        else:
+            self.events = getattr(emitter, "events", [])
+        self.emitter = emitter
 
         self.stats = InferenceStats()
         self.deadline: Deadline = self.config.deadline()
@@ -73,7 +94,7 @@ class HanoiInference:
         )
         self.verifier = Verifier(
             self.instance, self.enumerator, self.config.verifier_bounds, self.stats,
-            self.deadline, eval_cache=self.eval_cache,
+            self.deadline, eval_cache=self.eval_cache, emitter=self.emitter,
         )
         self.checker = ConditionalInductivenessChecker(
             self.instance,
@@ -83,6 +104,7 @@ class HanoiInference:
             self.stats,
             self.deadline,
             eval_cache=self.eval_cache,
+            emitter=self.emitter,
         )
         self.pool_cache: Optional[SynthesisEvaluationCache] = (
             SynthesisEvaluationCache() if self.config.synthesis_evaluation_caching else None
@@ -101,12 +123,44 @@ class HanoiInference:
         self.trace: Optional[CounterexampleTrace] = (
             CounterexampleTrace() if self.config.counterexample_list_caching else None
         )
-        self.events: List[dict] = []
+        # Custom factories (tests) may not accept an ``emitter`` kwarg, so the
+        # synthesizer is wired up after construction; objects that cannot take
+        # the attribute simply run untraced.
+        try:
+            self.synthesizer.emitter = self.emitter
+        except AttributeError:
+            pass
 
     # -- public API -------------------------------------------------------------
 
     def infer(self) -> InferenceResult:
         """Run the CEGIS loop of Figure 4 and return the outcome."""
+        emitter = self.emitter
+        if not emitter.enabled:
+            return self._infer()
+        with emitter.span("run", {"benchmark": self.definition.name,
+                                  "mode": self.mode_name}, cat="run"):
+            emitter.emit("run-start", {"benchmark": self.definition.name,
+                                       "mode": self.mode_name}, cat="run")
+            result = self._infer()
+            self._emit_cache_snapshot()
+            emitter.emit("run-end", {"status": result.status,
+                                     "iterations": result.iterations,
+                                     "stats": self.stats.counters()}, cat="run")
+        return result
+
+    def _emit_cache_snapshot(self) -> None:
+        """Final cache occupancy, for the analyzer's growth reporting."""
+        data: dict = {}
+        if self.eval_cache is not None:
+            data["eval"] = self.eval_cache.snapshot()
+        if self.pool_cache is not None:
+            data["pool"] = self.pool_cache.snapshot()
+        if data:
+            self.emitter.emit("cache-snapshot", data, cat="cache")
+
+    def _infer(self) -> InferenceResult:
+        emitter = self.emitter
         positives: Set[Value] = set()
         negatives: Set[Value] = set()
         iterations = 0
@@ -114,109 +168,12 @@ class HanoiInference:
             while iterations < self.config.max_iterations:
                 iterations += 1
                 self.deadline.check()
-
-                try:
-                    candidate = self._next_candidate(positives, negatives)
-                except SynthesisFailure:
-                    # Trace completeness pads unknown sub-values of examples
-                    # to false (Section 4.3).  When such a value is in fact
-                    # constructible, no candidate can separate the padded
-                    # example sets even though an invariant exists; the fix
-                    # the padding relies on - a visible check moving the
-                    # value into V+ - never runs if synthesis dies first.
-                    # Recover by growing V+ with outputs the module produces
-                    # from known-constructible inputs, then resynthesize.
-                    closure = self.checker.check(
-                        p=lambda v: v in positives,
-                        q=lambda v: v in positives,
-                        p_pool=positives,
-                    )
-                    if not isinstance(closure, InductivenessCounterexample):
-                        raise
-                    new_positives = set(closure.outputs) - positives
-                    if not new_positives:
-                        raise
-                    self._log("synthesis-recovery", None,
-                              operation=closure.operation,
-                              added=[str(v) for v in
-                                     sorted(new_positives, key=value_size)])
-                    positives |= new_positives
-                    self.stats.positives_added += len(new_positives)
-                    negatives = self._reset_negatives(new_positives, positives)
-                    continue
-                self.stats.candidates_proposed += 1
-
-                # -- ClosedPositives: weaken until visibly inductive ------------------
-                visible = self.checker.check(
-                    p=lambda v: v in positives, q=candidate, p_pool=positives
-                )
-                if isinstance(visible, InductivenessCounterexample):
-                    new_positives = set(visible.outputs) - positives
-                    self._log("visible-counterexample", candidate,
-                              operation=visible.operation,
-                              added=[str(v) for v in sorted(new_positives, key=value_size)])
-                    positives |= new_positives
-                    self.stats.positives_added += len(new_positives)
-                    negatives = self._reset_negatives(new_positives, positives)
-                    continue
-
-                # -- NoNegatives: sufficiency, then full inductiveness ------------------
-                sufficiency = self.verifier.check_sufficiency(candidate)
-                if isinstance(sufficiency, SufficiencyCounterexample):
-                    witnesses = set(sufficiency.witnesses)
-                    new_negatives = witnesses - positives
-                    if not new_negatives:
-                        # Every witness is known constructible: the module
-                        # itself violates the specification (Figure 4's
-                        # "Counterexample N" failure).
-                        self._log("spec-violation", candidate,
-                                  witnesses=[str(v) for v in witnesses])
-                        return self._result(Status.SPEC_VIOLATION, None, iterations,
-                                            message="constructible specification violation: "
-                                                    + ", ".join(str(v) for v in witnesses))
-                    self._log("sufficiency-counterexample", candidate,
-                              added=[str(v) for v in sorted(new_negatives, key=value_size)])
-                    negatives |= new_negatives
-                    self.stats.negatives_added += len(new_negatives)
-                    if self.trace is not None:
-                        self.trace.record(candidate, new_negatives)
-                    continue
-
-                inductive = self.checker.check(p=candidate, q=candidate, p_pool=None)
-                if isinstance(inductive, InductivenessCounterexample):
-                    witnesses = set(inductive.inputs)
-                    new_negatives = witnesses - positives
-                    if not new_negatives:
-                        # Should be impossible once the candidate is visibly
-                        # inductive (Lemma B.11); with a bounded, unsound
-                        # verifier it can still occur, in which case the
-                        # outputs are known constructible and we weaken.
-                        new_positives = set(inductive.outputs) - positives
-                        if not new_positives:
-                            return self._result(
-                                Status.FAILURE, None, iterations,
-                                message="inductiveness counterexample entirely inside V+",
-                            )
-                        self._log("late-visible-counterexample", candidate,
-                                  operation=inductive.operation,
-                                  added=[str(v) for v in new_positives])
-                        positives |= new_positives
-                        self.stats.positives_added += len(new_positives)
-                        negatives = self._reset_negatives(new_positives, positives)
-                        continue
-                    self._log("inductiveness-counterexample", candidate,
-                              operation=inductive.operation,
-                              added=[str(v) for v in sorted(new_negatives, key=value_size)])
-                    negatives |= new_negatives
-                    self.stats.negatives_added += len(new_negatives)
-                    if self.trace is not None:
-                        self.trace.record(candidate, new_negatives)
-                    continue
-
-                # Both checks passed: the candidate is a (likely) sufficient
-                # representation invariant.
-                self._log("success", candidate)
-                return self._result(Status.SUCCESS, candidate, iterations)
+                with emitter.span("iteration",
+                                  {"index": iterations} if emitter.enabled else None):
+                    outcome = self._iterate(positives, negatives)
+                if outcome is not None:
+                    status, invariant, message = outcome
+                    return self._result(status, invariant, iterations, message=message)
 
             return self._result(Status.FAILURE, None, iterations,
                                 message="iteration limit reached")
@@ -227,6 +184,114 @@ class HanoiInference:
         except NotImplementedError as unsupported:
             return self._result(Status.FAILURE, None, iterations, message=str(unsupported))
 
+    def _iterate(self, positives: Set[Value],
+                 negatives: Set[Value]) -> Optional[tuple]:
+        """One CEGIS iteration over the mutable example sets.
+
+        Returns ``None`` to continue looping, or a ``(status, invariant,
+        message)`` triple when the run is decided.
+        """
+        try:
+            candidate = self._next_candidate(positives, negatives)
+        except SynthesisFailure:
+            # Trace completeness pads unknown sub-values of examples
+            # to false (Section 4.3).  When such a value is in fact
+            # constructible, no candidate can separate the padded
+            # example sets even though an invariant exists; the fix
+            # the padding relies on - a visible check moving the
+            # value into V+ - never runs if synthesis dies first.
+            # Recover by growing V+ with outputs the module produces
+            # from known-constructible inputs, then resynthesize.
+            closure = self.checker.check(
+                p=lambda v: v in positives,
+                q=lambda v: v in positives,
+                p_pool=positives,
+            )
+            if not isinstance(closure, InductivenessCounterexample):
+                raise
+            new_positives = set(closure.outputs) - positives
+            if not new_positives:
+                raise
+            self._log("synthesis-recovery", None,
+                      operation=closure.operation,
+                      added=[str(v) for v in
+                             sorted(new_positives, key=value_size)])
+            positives |= new_positives
+            self.stats.positives_added += len(new_positives)
+            self._replace_negatives(negatives, new_positives, positives)
+            return None
+        self.stats.candidates_proposed += 1
+
+        # -- ClosedPositives: weaken until visibly inductive ------------------
+        visible = self.checker.check(
+            p=lambda v: v in positives, q=candidate, p_pool=positives
+        )
+        if isinstance(visible, InductivenessCounterexample):
+            new_positives = set(visible.outputs) - positives
+            self._log("visible-counterexample", candidate,
+                      operation=visible.operation,
+                      added=[str(v) for v in sorted(new_positives, key=value_size)])
+            positives |= new_positives
+            self.stats.positives_added += len(new_positives)
+            self._replace_negatives(negatives, new_positives, positives)
+            return None
+
+        # -- NoNegatives: sufficiency, then full inductiveness ------------------
+        sufficiency = self.verifier.check_sufficiency(candidate)
+        if isinstance(sufficiency, SufficiencyCounterexample):
+            witnesses = set(sufficiency.witnesses)
+            new_negatives = witnesses - positives
+            if not new_negatives:
+                # Every witness is known constructible: the module
+                # itself violates the specification (Figure 4's
+                # "Counterexample N" failure).
+                self._log("spec-violation", candidate,
+                          witnesses=[str(v) for v in witnesses])
+                return (Status.SPEC_VIOLATION, None,
+                        "constructible specification violation: "
+                        + ", ".join(str(v) for v in witnesses))
+            self._log("sufficiency-counterexample", candidate,
+                      added=[str(v) for v in sorted(new_negatives, key=value_size)])
+            negatives |= new_negatives
+            self.stats.negatives_added += len(new_negatives)
+            if self.trace is not None:
+                self.trace.record(candidate, new_negatives)
+            return None
+
+        inductive = self.checker.check(p=candidate, q=candidate, p_pool=None)
+        if isinstance(inductive, InductivenessCounterexample):
+            witnesses = set(inductive.inputs)
+            new_negatives = witnesses - positives
+            if not new_negatives:
+                # Should be impossible once the candidate is visibly
+                # inductive (Lemma B.11); with a bounded, unsound
+                # verifier it can still occur, in which case the
+                # outputs are known constructible and we weaken.
+                new_positives = set(inductive.outputs) - positives
+                if not new_positives:
+                    return (Status.FAILURE, None,
+                            "inductiveness counterexample entirely inside V+")
+                self._log("late-visible-counterexample", candidate,
+                          operation=inductive.operation,
+                          added=[str(v) for v in new_positives])
+                positives |= new_positives
+                self.stats.positives_added += len(new_positives)
+                self._replace_negatives(negatives, new_positives, positives)
+                return None
+            self._log("inductiveness-counterexample", candidate,
+                      operation=inductive.operation,
+                      added=[str(v) for v in sorted(new_negatives, key=value_size)])
+            negatives |= new_negatives
+            self.stats.negatives_added += len(new_negatives)
+            if self.trace is not None:
+                self.trace.record(candidate, new_negatives)
+            return None
+
+        # Both checks passed: the candidate is a (likely) sufficient
+        # representation invariant.
+        self._log("success", candidate)
+        return (Status.SUCCESS, candidate, "")
+
     # -- helpers -------------------------------------------------------------------
 
     def _next_candidate(self, positives: Set[Value], negatives: Set[Value]) -> Predicate:
@@ -235,6 +300,8 @@ class HanoiInference:
             cached = self.cache.lookup(positives, negatives)
             if cached is not None:
                 self.stats.synthesis_cache_hits += 1
+                if self.emitter.enabled:
+                    self.emitter.emit("synthesis-result-cache", {"hits": 1}, cat="cache")
                 self._log("synthesis-cache-hit", cached)
                 return cached
         candidates = self.synthesizer.synthesize(positives, negatives)
@@ -253,12 +320,20 @@ class HanoiInference:
         self._log("trace-replay", None, kept=len(replayed))
         return set(replayed)
 
+    def _replace_negatives(self, negatives: Set[Value], new_positives: Set[Value],
+                           positives: Set[Value]) -> None:
+        """In-place version of :meth:`_reset_negatives` (the iteration helper
+        shares the caller's set)."""
+        replacement = self._reset_negatives(new_positives, positives)
+        negatives.clear()
+        negatives.update(replacement)
+
     def _log(self, event: str, candidate: Optional[object], **details: object) -> None:
-        entry = {"event": event}
+        data: dict = {}
         if candidate is not None:
-            entry["candidate_size"] = getattr(candidate, "size", None)
-        entry.update(details)
-        self.events.append(entry)
+            data["candidate_size"] = getattr(candidate, "size", None)
+        data.update(details)
+        self.emitter.emit(event, data, legacy=True)
 
     def _result(self, status: str, invariant: Optional[Predicate], iterations: int,
                 message: str = "") -> InferenceResult:
@@ -276,6 +351,8 @@ class HanoiInference:
 
 
 def infer_invariant(module: ModuleDefinition, config: Optional[HanoiConfig] = None,
-                    synthesizer_factory: Optional[SynthesizerFactory] = None) -> InferenceResult:
+                    synthesizer_factory: Optional[SynthesizerFactory] = None,
+                    emitter: Optional[object] = None) -> InferenceResult:
     """Convenience wrapper: run Hanoi on a module definition and return the result."""
-    return HanoiInference(module, config=config, synthesizer_factory=synthesizer_factory).infer()
+    return HanoiInference(module, config=config, synthesizer_factory=synthesizer_factory,
+                          emitter=emitter).infer()

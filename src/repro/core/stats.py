@@ -150,6 +150,22 @@ class InferenceStats:
         "structures_tested",
     )
 
+    #: The deterministic subset of :data:`COUNTER_FIELDS` - integer counters
+    #: only, no timers.  These are what the tracing layer stamps on ``run-end``
+    #: events, so traces of deterministic runs stay byte-identical.
+    INT_COUNTER_FIELDS = tuple(
+        name for name in COUNTER_FIELDS if not name.endswith("_time")
+    )
+
+    def counters(self) -> Dict[str, int]:
+        """The integer counters only (no wall-clock timers).
+
+        Used by the observability layer: ``run-end`` trace events carry these
+        so ``repro trace`` can cross-check cache hit rates derived from the
+        event stream, and golden-trace tests can assert byte-identity.
+        """
+        return {name: getattr(self, name) for name in self.INT_COUNTER_FIELDS}
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-safe dictionary from which :meth:`from_dict` rebuilds the stats.
 

@@ -55,6 +55,15 @@ def trace_lines(result: InferenceResult) -> List[str]:
         elif kind == "visible-counterexample":
             lines.append(f"{index:3d}.   positive counterexample ({event.get('operation')}): "
                          f"{event.get('added')}")
+        elif kind == "late-visible-counterexample":
+            lines.append(f"{index:3d}.   positive counterexample, found late "
+                         f"({event.get('operation')}): {event.get('added')}")
+        elif kind == "synthesis-recovery":
+            lines.append(f"{index:3d}.   synthesis failed; recovered by promoting "
+                         f"({event.get('operation')}): {event.get('added')}")
+        elif kind == "spec-violation":
+            lines.append(f"{index:3d}. specification violation witnessed by "
+                         f"{event.get('witnesses')}")
         elif kind == "trace-replay":
             lines.append(f"{index:3d}.   trace replay kept {event.get('kept')} negative example(s)")
         elif kind == "success":

@@ -13,27 +13,45 @@ sweep continues unaffected.
 Results cross the process boundary as ``InferenceResult.to_dict()`` payloads -
 the same JSON-safe representation the result store persists - so workers never
 need to pickle live :class:`~repro.core.predicate.Predicate` closures.
+
+Workers also *stream*: each worker replaces any sinks it inherited from the
+parent (it must not write the parent's trace file directly) with a
+:class:`~repro.obs.sinks.QueueSink` over a shared event queue, plus a
+heartbeat thread for long-silent phases.  The parent drains the queue on
+every poll tick, forwards the records to its own installed sinks (the
+``--trace`` file, the live renderer), and remembers each task's last record -
+so a worker killed on timeout reports *where* it hung (last phase and
+timestamp) instead of just "timeout".
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from collections import deque
 from multiprocessing.connection import wait as connection_wait
+from queue import Empty
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.result import InferenceResult, Status
 from ..core.stats import InferenceStats
+from ..obs.events import SCHEMA_VERSION
+from ..obs.sinks import QueueSink, install_sink, installed_sinks, reset_sinks
 from .runner import ExperimentTask, execute_task, quick_config
 
-__all__ = ["ParallelRunner", "DEFAULT_TIMEOUT_GRACE"]
+__all__ = ["ParallelRunner", "DEFAULT_TIMEOUT_GRACE", "DEFAULT_HEARTBEAT_INTERVAL"]
 
 #: Seconds granted beyond a task's cooperative timeout before the parent kills
 #: the worker: the cooperative deadline should fire first, the pool-level kill
 #: is the backstop for workers stuck somewhere that never polls it.
 DEFAULT_TIMEOUT_GRACE = 30.0
+
+#: Seconds between a worker's heartbeat records.  Heartbeats ride the same
+#: event queue as trace records, so even a worker wedged inside one long
+#: evaluation keeps telling the parent it is alive (and when it last spoke).
+DEFAULT_HEARTBEAT_INTERVAL = 15.0
 
 
 def _result_payload(task: ExperimentTask, status: str, message: str,
@@ -53,12 +71,56 @@ def _result_payload(task: ExperimentTask, status: str, message: str,
     ).to_dict()
 
 
-def _worker(task: ExperimentTask, conn) -> None:
-    """Worker entry point: run one task, send its dict payload, exit."""
+def _heartbeat_loop(sink: QueueSink, label: str, interval: float,
+                    stop: threading.Event) -> None:
+    """Emit one ``stream``-category heartbeat record per interval until told
+    to stop.  Runs on a daemon thread, so a worker wedged inside one long
+    evaluation (never returning to Python-level instrumentation) still
+    reports liveness.  Heartbeats carry their own sequence counter - they are
+    runner-level records, not part of any emitter's ordered stream."""
+    start = time.monotonic()
+    seq = 0
+    while not stop.wait(interval):
+        seq += 1
+        sink.handle({
+            "v": SCHEMA_VERSION,
+            "seq": seq,
+            "ts": round(time.monotonic() - start, 3),
+            "run": label,
+            "kind": "event",
+            "cat": "stream",
+            "name": "heartbeat",
+            "span": None,
+        })
+
+
+def _worker(task: ExperimentTask, conn, events=None,
+            heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL) -> None:
+    """Worker entry point: run one task, send its dict payload, exit.
+
+    When an event queue is supplied the worker streams: it drops any sinks
+    inherited from the parent (under ``fork`` that includes the parent's open
+    trace file, which only the parent may write) and installs a single
+    :class:`QueueSink`, so every trace record crosses the queue tagged with
+    this task's label.
+    """
+    stop = None
+    if events is not None:
+        reset_sinks()
+        sink = install_sink(QueueSink(events, task=task.label))
+        stop = threading.Event()
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(sink, task.label, heartbeat_interval, stop),
+            daemon=True,
+        ).start()
     try:
         payload = execute_task(task).to_dict()
     except BaseException as exc:  # noqa: BLE001 - report, don't crash silently
         payload = _result_payload(task, Status.FAILURE, f"worker error: {exc!r}")
+    finally:
+        if stop is not None:
+            stop.set()
     try:
         conn.send(payload)
     finally:
@@ -88,17 +150,28 @@ class ParallelRunner:
         for configs without a timeout).
     mp_context:
         A ``multiprocessing`` context, for tests or platform overrides.
+    stream_events:
+        Whether workers stream trace records back to the parent.  ``None``
+        (the default) streams exactly when the parent has sinks installed -
+        a sweep without ``--trace``/``--live`` keeps workers at true
+        zero-cost tracing.  ``True`` forces streaming (the last-event
+        bookkeeping still improves timeout reports even with no sinks);
+        ``False`` disables it.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  task_timeout: Optional[float] = None,
                  timeout_grace: float = DEFAULT_TIMEOUT_GRACE,
                  mp_context=None,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05,
+                 stream_events: Optional[bool] = None,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.task_timeout = task_timeout
         self.timeout_grace = timeout_grace
         self.poll_interval = poll_interval
+        self.stream_events = stream_events
+        self.heartbeat_interval = heartbeat_interval
         self._ctx = mp_context if mp_context is not None else _default_context()
 
     def _budget_for(self, task: ExperimentTask) -> Optional[float]:
@@ -124,6 +197,10 @@ class ParallelRunner:
         results: List[Optional[InferenceResult]] = [None] * len(tasks)
         queue = deque(enumerate(tasks))
         live: Dict[int, Tuple[object, object, float]] = {}
+        stream = (self.stream_events if self.stream_events is not None
+                  else bool(installed_sinks()))
+        events = self._ctx.Queue() if stream else None
+        last_event: Dict[str, dict] = {}
 
         def finish(index: int, payload: dict) -> None:
             result = InferenceResult.from_dict(payload)
@@ -139,7 +216,9 @@ class ParallelRunner:
                     index, task = queue.popleft()
                     parent_conn, child_conn = self._ctx.Pipe(duplex=False)
                     process = self._ctx.Process(
-                        target=_worker, args=(task, child_conn), daemon=True)
+                        target=_worker,
+                        args=(task, child_conn, events, self.heartbeat_interval),
+                        daemon=True)
                     process.start()
                     child_conn.close()
                     live[index] = (process, parent_conn, time.monotonic())
@@ -148,6 +227,7 @@ class ParallelRunner:
                 # tick passes, so timeout enforcement stays responsive).
                 connection_wait([conn for _, conn, _ in live.values()],
                                 timeout=self.poll_interval)
+                self._drain_events(events, last_event)
 
                 for index in list(live):
                     process, conn, started = live[index]
@@ -180,7 +260,8 @@ class ParallelRunner:
                         payload = received_payload() or _result_payload(
                             task, Status.TIMEOUT,
                             f"killed by the pool after {elapsed:.1f}s "
-                            f"(hard budget {budget:.1f}s)",
+                            f"(hard budget {budget:.1f}s)"
+                            f"{self._last_event_suffix(last_event, task)}",
                             elapsed)
                         self._reap(live.pop(index))
                         finish(index, payload)
@@ -189,7 +270,8 @@ class ParallelRunner:
                     if not process.is_alive():
                         payload = received_payload() or _result_payload(
                             task, Status.FAILURE,
-                            f"worker died with exit code {process.exitcode}",
+                            f"worker died with exit code {process.exitcode}"
+                            f"{self._last_event_suffix(last_event, task)}",
                             elapsed)
                         self._reap(live.pop(index))
                         finish(index, payload)
@@ -197,8 +279,50 @@ class ParallelRunner:
             for process, conn, _ in live.values():
                 process.terminate()
                 self._reap((process, conn, 0.0))
+            # One last drain: records buffered before the workers exited
+            # still belong in the parent's sinks.
+            self._drain_events(events, last_event)
+            if events is not None:
+                events.close()
+                # The feeder thread may hold undelivered records from workers
+                # we just terminated; don't let interpreter shutdown block on
+                # them.
+                events.cancel_join_thread()
 
         return list(results)
+
+    def _drain_events(self, events, last_event: Dict[str, dict]) -> None:
+        """Forward queued worker records to the parent's installed sinks and
+        remember the freshest record per task label."""
+        if events is None:
+            return
+        sinks = installed_sinks()
+        while True:
+            try:
+                record = events.get_nowait()
+            except Empty:
+                return
+            except (OSError, ValueError):  # pragma: no cover - queue closed
+                return
+            label = record.get("task")
+            if label is not None:
+                # Heartbeats prove liveness but say nothing about *where* the
+                # worker is; only let one stand in when no real record exists.
+                if record.get("cat") != "stream" or label not in last_event:
+                    last_event[label] = record
+            for sink in sinks:
+                sink.handle(record)
+
+    @staticmethod
+    def _last_event_suffix(last_event: Dict[str, dict],
+                           task: ExperimentTask) -> str:
+        """``; last event: ...`` for a killed task, naming the phase (event or
+        span name) the worker last reported and when - empty when the task
+        never streamed anything."""
+        record = last_event.get(task.label)
+        if record is None:
+            return ""
+        return f"; last event: {record.get('name')} at t={record.get('ts')}"
 
     @staticmethod
     def _reap(entry) -> None:

@@ -179,6 +179,13 @@ class ExperimentTask:
         return (self.benchmark, self.mode)
 
     @property
+    def label(self) -> str:
+        """A human-readable identity for progress lines and event streams
+        (``benchmark/mode``, with the variant tag when one is set)."""
+        base = f"{self.benchmark}/{self.mode}"
+        return f"{base}#{self.variant}" if self.variant is not None else base
+
+    @property
     def resume_key(self) -> Tuple[str, str, Optional[str], Optional[str]]:
         """The identity used for resume bookkeeping.
 

@@ -41,6 +41,7 @@ from ..enumeration.values import ValueEnumerator
 from ..lang.errors import LangError
 from ..lang.types import TAbstract, TArrow, Type, mentions_abstract
 from ..lang.values import Value, value_size
+from ..obs.events import NULL_EMITTER
 from ..verify.evalcache import EvaluationCache, OperationRecord
 from ..verify.result import VALID, CheckResult, InductivenessCounterexample
 
@@ -59,7 +60,8 @@ class ConditionalInductivenessChecker:
                  bounds: VerifierBounds = VerifierBounds(),
                  stats: Optional[InferenceStats] = None,
                  deadline: Optional[Deadline] = None,
-                 eval_cache: Optional[EvaluationCache] = None):
+                 eval_cache: Optional[EvaluationCache] = None,
+                 emitter: object = NULL_EMITTER):
         self.instance = instance
         self.enumerator = enumerator or ValueEnumerator(instance.program.types)
         self.function_enumerator = function_enumerator or FunctionEnumerator(instance)
@@ -67,6 +69,7 @@ class ConditionalInductivenessChecker:
         self.stats = stats or InferenceStats()
         self.deadline = deadline or Deadline(None)
         self.eval_cache = eval_cache
+        self.emitter = emitter
 
     # -- public API -------------------------------------------------------------
 
@@ -80,13 +83,34 @@ class ConditionalInductivenessChecker:
         when omitted, the checker enumerates concrete values and filters them
         through ``p`` (the full-inductiveness case).
         """
-        with self.stats.verification():
-            pool = self._abstract_pool(p, p_pool)
-            for operation in self.instance.operations:
-                result = self._check_operation(operation, pool, p, q)
-                if not isinstance(result, type(VALID)):
-                    return result
-            return VALID
+        emitter = self.emitter
+        if not emitter.enabled:
+            with self.stats.verification():
+                return self._check(p, q, p_pool)
+        hits_before = self.stats.eval_cache_hits
+        misses_before = self.stats.eval_cache_misses
+        try:
+            with emitter.span("inductiveness-check",
+                              {"mode": "visible" if p_pool is not None else "full"}):
+                with self.stats.verification():
+                    return self._check(p, q, p_pool)
+        finally:
+            # Emitted even when the deadline fires mid-check, so the
+            # analyzer's cross-check against run-end counters stays exact.
+            if self.eval_cache is not None:
+                emitter.emit("eval-cache",
+                             {"hits": self.stats.eval_cache_hits - hits_before,
+                              "misses": self.stats.eval_cache_misses - misses_before},
+                             cat="cache")
+
+    def _check(self, p: PredicateFn, q: PredicateFn,
+               p_pool: Optional[Iterable[Value]]) -> CheckResult:
+        pool = self._abstract_pool(p, p_pool)
+        for operation in self.instance.operations:
+            result = self._check_operation(operation, pool, p, q)
+            if not isinstance(result, type(VALID)):
+                return result
+        return VALID
 
     # -- pools ---------------------------------------------------------------------
 

@@ -45,6 +45,7 @@ from ..lang.typecheck import TypeEnvironment
 from ..lang.types import TData, Type, arrow_args, arrow_result
 from ..lang.values import Value, VCtor
 from ..lang.program import Program
+from ..obs.events import NULL_EMITTER
 from .poolcache import CRASHED, PoolSnapshot, SynthesisEvaluationCache
 
 __all__ = ["TypedComponent", "TermEntry", "TermPool"]
@@ -95,7 +96,8 @@ class TermPool:
                  max_applications: int = 60_000,
                  deadline: Optional[Deadline] = None,
                  cache: Optional[SynthesisEvaluationCache] = None,
-                 stats: Optional[InferenceStats] = None):
+                 stats: Optional[InferenceStats] = None,
+                 emitter: object = NULL_EMITTER):
         self.program = program
         self.types: TypeEnvironment = program.types
         self.components = tuple(components)
@@ -107,6 +109,7 @@ class TermPool:
         self.deadline = deadline or Deadline(None)
         self.cache = cache
         self.stats = stats
+        self.emitter = emitter
 
         #: entries grouped by (result type, size)
         self._by_type_size: Dict[Tuple[Type, int], List[TermEntry]] = {}
@@ -146,6 +149,13 @@ class TermPool:
             snapshot = self.cache.pools.get(key)
             if snapshot is not None:
                 self._replay(snapshot)
+                if self.emitter.enabled:
+                    # One event per pool, never per entry: replays happen a
+                    # handful of times per synthesis call, entries millions.
+                    self.emitter.emit("pool-replay",
+                                      {"entries": len(self._order),
+                                       "evaluations": self._evaluations},
+                                      cat="cache")
                 return
         self._build_leaves()
         for size in range(2, self.max_size + 1):
@@ -156,6 +166,12 @@ class TermPool:
             self.cache.pools.put(
                 key, PoolSnapshot(tuple(self._order), self._applications,
                                   self._evaluations))
+        if self.emitter.enabled:
+            self.emitter.emit("pool-built",
+                              {"entries": len(self._order),
+                               "applications": self._applications,
+                               "evaluations": self._evaluations},
+                              cat="cache")
 
     def _pool_key(self) -> tuple:
         """Everything the construction depends on, as one hashable key.

@@ -51,6 +51,7 @@ from ..lang.ast import (
 )
 from ..lang.types import TArrow, TData, TProd, Type, arrow
 from ..lang.values import FALSE, TRUE, Value, VCtor, VNative, VTuple, v_bool, value_size
+from ..obs.events import NULL_EMITTER
 from .base import SynthesisFailure
 from .bottomup import TermPool, TypedComponent
 from .examples import ExampleOracle
@@ -74,7 +75,8 @@ class MythSynthesizer:
                  stats: Optional[InferenceStats] = None,
                  deadline: Optional[Deadline] = None,
                  extra_components: Optional[Dict[str, Tuple[Type, Value]]] = None,
-                 pool_cache: Optional[SynthesisEvaluationCache] = None):
+                 pool_cache: Optional[SynthesisEvaluationCache] = None,
+                 emitter: object = NULL_EMITTER):
         self.instance = instance
         self.program = instance.program
         self.concrete_type = instance.concrete_type
@@ -83,6 +85,7 @@ class MythSynthesizer:
         self.deadline = deadline or Deadline(None)
         self.extra_components = dict(extra_components or {})
         self.pool_cache = pool_cache
+        self.emitter = emitter
         #: Oracle-interpreting recursive-call functions, keyed by the oracle
         #: mapping they interpret.  Reusing the same function value for equal
         #: mappings lets the pool cache replay recursive-call pools across
@@ -95,6 +98,30 @@ class MythSynthesizer:
     def synthesize(self, positives: Iterable[Value],
                    negatives: Iterable[Value]) -> List[Predicate]:
         """Return candidate invariants separating the example sets, best first."""
+        emitter = self.emitter
+        if not emitter.enabled:
+            return self._synthesize(positives, negatives)
+        hits_before = misses_before = 0
+        if self.stats is not None:
+            hits_before = self.stats.pool_cache_hits
+            misses_before = self.stats.pool_cache_misses
+        try:
+            data = {}
+            try:
+                data = {"positives": len(positives), "negatives": len(negatives)}
+            except TypeError:
+                pass
+            with emitter.span("synthesis", data or None):
+                return self._synthesize(positives, negatives)
+        finally:
+            if self.stats is not None and self.pool_cache is not None:
+                emitter.emit("pool-cache",
+                             {"hits": self.stats.pool_cache_hits - hits_before,
+                              "misses": self.stats.pool_cache_misses - misses_before},
+                             cat="cache")
+
+    def _synthesize(self, positives: Iterable[Value],
+                    negatives: Iterable[Value]) -> List[Predicate]:
         timer = self.stats.synthesis() if self.stats is not None else nullcontext()
         with timer:
             oracle = ExampleOracle.build(
@@ -309,6 +336,7 @@ class MythSynthesizer:
             deadline=self.deadline,
             cache=self.pool_cache,
             stats=self.stats,
+            emitter=self.emitter,
         )
         entries = pool.entries(TData("bool"))
         target = tuple(v_bool(expected) for _, expected in examples)

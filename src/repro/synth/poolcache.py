@@ -152,3 +152,11 @@ class SynthesisEvaluationCache:
                  max_pool_entries: int = 4096) -> None:
         self.applications = ApplicationMemo(max_application_entries)
         self.pools = PoolMemo(max_pool_entries)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Deterministic occupancy counts, stamped on ``cache-snapshot`` trace
+        events so ``repro trace`` can report cache growth per run."""
+        return {
+            "application_entries": len(self.applications),
+            "pool_entries": len(self.pools),
+        }

@@ -152,3 +152,12 @@ class EvaluationCache:
     def __init__(self, max_operation_entries: int = 200_000) -> None:
         self.spec = SpecStream()
         self.operations = OperationMemo(max_operation_entries)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic occupancy counts, stamped on ``cache-snapshot`` trace
+        events so ``repro trace`` can report cache growth per run."""
+        return {
+            "spec_entries": len(self.spec.entries),
+            "spec_exhausted": self.spec.exhausted,
+            "operation_entries": len(self.operations),
+        }

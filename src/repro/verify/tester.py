@@ -34,6 +34,7 @@ from ..enumeration.values import ValueEnumerator
 from ..lang.errors import LangError
 from ..lang.types import Type, mentions_abstract
 from ..lang.values import Value, bool_of_value
+from ..obs.events import NULL_EMITTER
 from .evalcache import EvaluationCache, SpecEntry
 from .result import VALID, CheckResult, SufficiencyCounterexample
 
@@ -47,13 +48,15 @@ class Verifier:
                  bounds: VerifierBounds = VerifierBounds(),
                  stats: Optional[InferenceStats] = None,
                  deadline: Optional[Deadline] = None,
-                 eval_cache: Optional[EvaluationCache] = None):
+                 eval_cache: Optional[EvaluationCache] = None,
+                 emitter: object = NULL_EMITTER):
         self.instance = instance
         self.enumerator = enumerator or ValueEnumerator(instance.program.types)
         self.bounds = bounds
         self.stats = stats or InferenceStats()
         self.deadline = deadline or Deadline(None)
         self.eval_cache = eval_cache
+        self.emitter = emitter
 
     # -- quantifier pools ------------------------------------------------------------
 
@@ -88,8 +91,25 @@ class Verifier:
         what the Hanoi loop adds to V- (or reports as a specification bug when
         they are all known constructible).
         """
-        with self.stats.verification():
-            return self._check_sufficiency(invariant)
+        emitter = self.emitter
+        if not emitter.enabled:
+            with self.stats.verification():
+                return self._check_sufficiency(invariant)
+        hits_before = self.stats.eval_cache_hits
+        misses_before = self.stats.eval_cache_misses
+        try:
+            with emitter.span("sufficiency-check"):
+                with self.stats.verification():
+                    return self._check_sufficiency(invariant)
+        finally:
+            # The delta is emitted even when the check raises (a deadline
+            # firing mid-check), so the analyzer's cross-check against the
+            # run-end counters stays exact.
+            if self.eval_cache is not None:
+                emitter.emit("eval-cache",
+                             {"hits": self.stats.eval_cache_hits - hits_before,
+                              "misses": self.stats.eval_cache_misses - misses_before},
+                             cat="cache")
 
     def _check_sufficiency(self, invariant: Callable[[Value], bool]) -> CheckResult:
         definition = self.instance.definition

@@ -65,6 +65,74 @@ def test_figure5_traces_show_caching_savings():
     assert any("success" in line for line in lines)
 
 
+def test_figure5_renders_every_event_kind_golden():
+    """Every event kind the inference loop logs has a rendering, pinned
+    line-for-line (a kind falling through unrendered regresses silently)."""
+    from repro.core.result import InferenceResult
+    from repro.core.stats import InferenceStats
+
+    events = [
+        {"event": "synthesized", "candidate_size": 5},
+        {"event": "synthesis-cache-hit", "candidate_size": 3},
+        {"event": "sufficiency-counterexample", "candidate_size": 3,
+         "added": ["(cons 1 nil)"]},
+        {"event": "inductiveness-counterexample", "candidate_size": 3,
+         "operation": "insert", "added": ["(cons 2 nil)"]},
+        {"event": "visible-counterexample", "candidate_size": 3,
+         "operation": "insert", "added": ["(cons 3 nil)"]},
+        {"event": "late-visible-counterexample", "candidate_size": 3,
+         "operation": "delete", "added": ["(cons 4 nil)"]},
+        {"event": "synthesis-recovery", "operation": "insert",
+         "added": ["(cons 5 nil)"]},
+        {"event": "spec-violation", "candidate_size": 3,
+         "witnesses": ["(cons 6 (cons 6 nil))"]},
+        {"event": "trace-replay", "kept": 7},
+        {"event": "success", "candidate_size": 9},
+    ]
+    result = InferenceResult(benchmark="/test/golden", mode="hanoi",
+                             status="success", invariant=None,
+                             stats=InferenceStats(), events=events)
+
+    assert trace_lines(result) == [
+        "  1. candidate (size 5) from synth",
+        "  2. candidate (size 3) from cache",
+        "  3.   negative counterexample (sufficiency): ['(cons 1 nil)']",
+        "  4.   negative counterexample (insert): ['(cons 2 nil)']",
+        "  5.   positive counterexample (insert): ['(cons 3 nil)']",
+        "  6.   positive counterexample, found late (delete): ['(cons 4 nil)']",
+        "  7.   synthesis failed; recovered by promoting (insert): ['(cons 5 nil)']",
+        "  8. specification violation witnessed by ['(cons 6 (cons 6 nil))']",
+        "  9.   trace replay kept 7 negative example(s)",
+        " 10. success: invariant of size 9",
+    ]
+
+
+def test_every_logged_event_kind_is_rendered():
+    """`_log(...)` call sites in the loop and `trace_lines` branches must
+    stay in sync: a newly logged kind needs a rendering (and a line in the
+    golden test above)."""
+    import re
+
+    from repro.core import hanoi
+    from repro.experiments import figure5
+
+    logged = set(re.findall(r'self\._log\(\s*"([a-z-]+)"',
+                            inspect_source(hanoi)))
+    rendered = set(re.findall(r'kind (?:==|in) \(?"?([a-z-]+(?:", "[a-z-]+)*)"?\)?',
+                              inspect_source(figure5)))
+    flattened = set()
+    for match in rendered:
+        flattened.update(match.split('", "'))
+    assert logged, "no _log call sites found (pattern rot?)"
+    assert logged <= flattened, f"unrendered event kinds: {logged - flattened}"
+
+
+def inspect_source(module):
+    import inspect
+
+    return inspect.getsource(module)
+
+
 def test_report_formatting_helpers():
     assert format_seconds(None) == "t/o"
     assert format_seconds(1.234) == "1.2"

@@ -85,6 +85,64 @@ def test_worker_crash_is_reported_not_fatal():
     assert results[1].status == Status.SUCCESS
 
 
+def test_parallel_workers_stream_events_to_parent():
+    from repro.obs.sinks import InMemorySink, install_sink, reset_sinks
+
+    tasks = expand_tasks(SMALL, modes=["hanoi"], config=CONFIG)
+    reset_sinks()
+    sink = install_sink(InMemorySink())
+    try:
+        results = ParallelRunner(jobs=2).run(tasks)
+    finally:
+        reset_sinks()
+
+    assert all(r.status == Status.SUCCESS for r in results)
+    # Every record that crossed the queue carries its worker's task label.
+    labels = {r.get("task") for r in sink.records}
+    assert labels == {t.label for t in tasks}
+    # Each task streamed a complete run: start and end both made it across.
+    for task in tasks:
+        names = [r["name"] for r in sink.records if r.get("task") == task.label]
+        assert "run-start" in names and "run-end" in names
+        assert "iteration" in names  # spans stream too, not just run markers
+    # Within one worker the stream stays ordered even after the merge.
+    for task in tasks:
+        seqs = [r["seq"] for r in sink.records
+                if r.get("task") == task.label and r.get("cat") != "stream"]
+        assert seqs == sorted(seqs)
+
+
+def test_parallel_without_sinks_does_not_stream():
+    from repro.obs.sinks import installed_sinks
+
+    assert installed_sinks() == []
+    tasks = expand_tasks([SMALL[0]], modes=["hanoi"], config=CONFIG)
+    runner = ParallelRunner(jobs=1)
+    assert runner.run(tasks)[0].status == Status.SUCCESS
+
+
+@pytest.mark.skipif(not _has_fork(), reason="hanging-benchmark fixture needs fork")
+def test_timeout_report_names_last_streamed_event():
+    def hanging_factory():
+        time.sleep(300)
+
+    registry.BENCHMARKS["/test/hang"] = hanging_factory
+    try:
+        results = ParallelRunner(
+            jobs=1, task_timeout=1.0, timeout_grace=0.5,
+            stream_events=True, heartbeat_interval=0.2,
+        ).run([ExperimentTask("/test/hang", "hanoi", CONFIG)])
+    finally:
+        del registry.BENCHMARKS["/test/hang"]
+
+    result = results[0]
+    assert result.status == Status.TIMEOUT
+    assert "killed by the pool" in result.message
+    # The factory hangs before any phase runs, so the heartbeat is the last
+    # (and only) streamed record - the report says so, with its timestamp.
+    assert "; last event: heartbeat at t=" in result.message
+
+
 def test_cli_resume_skips_completed_pairs(tmp_path, capsys):
     output = str(tmp_path / "results.jsonl")
     argv = ["run", "--jobs", "2", "--profile", "quick", "--output", output,
