@@ -1,0 +1,552 @@
+"""Call-graph construction, unused-definition and termination analysis.
+
+Three checks share the graph:
+
+* **HAN003 (unused definition)** — a module-source declaration is dead when
+  it is unreachable from the module *interface roots*: the declared
+  operations, the specification, and every listed synthesis component or
+  helper.  Type declarations count as used when a live definition mentions
+  them in a signature, annotation, or constructor.
+* **HAN004 (unprovable termination)** — every ``let rec`` must pass
+  *size-change termination* (Lee, Jones, Ben-Amram, POPL 2001) over
+  structural descent: an argument is *strictly smaller* than parameter
+  *i* when it was bound under a constructor pattern while destructuring
+  that parameter (or something already smaller than it).  Rebuilt tuples
+  count as smaller when every component descends from the same parameter
+  and at least one strictly — the rotate-a-queue idiom.  Each self-call
+  contributes a size-change graph; the definition is accepted when every
+  idempotent graph in the composition closure carries a strict self-edge,
+  which covers both fixed-position descent and argument-swapping
+  recursion (``merge ar b`` / ``merge br a``).  The check may still warn
+  on exotic terminating definitions, never the other way around for the
+  structural recursion the object language encourages.  Mutually
+  recursive groups (call-graph cycles through more than one definition)
+  are reported as unproven rather than analyzed.
+
+The evaluator already guards non-termination dynamically with fuel, but a
+diverging helper discovered as :class:`FuelExhausted` deep inside
+enumeration costs an entire budget per probe; the static warning surfaces
+it at load time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..lang.ast import (
+    Branch,
+    ECtor,
+    EFun,
+    ELet,
+    EMatch,
+    EProj,
+    ETuple,
+    EVar,
+    EApp,
+    Expr,
+    FunDecl,
+    PCtor,
+    PTuple,
+    PVar,
+    PWild,
+    Pattern,
+    TypeDecl,
+    free_vars,
+)
+from ..lang.types import TArrow, TData, TProd, Type
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "build_call_graph",
+    "strongly_connected_components",
+    "unused_definitions",
+    "check_structural_recursion",
+    "scan_module_declarations",
+]
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+
+
+def _decl_param_names(decl: FunDecl) -> Set[str]:
+    return {name for name, _ in decl.params}
+
+
+def build_call_graph(decls: Sequence[FunDecl]) -> Dict[str, FrozenSet[str]]:
+    """``name -> called names`` over the given declarations only.
+
+    Free variables of a body that name another declaration in ``decls`` are
+    edges; parameters and local binders are excluded by ``free_vars``'s
+    scoping, and references to prelude globals fall outside the node set.
+    """
+    names = {decl.name for decl in decls}
+    graph: Dict[str, FrozenSet[str]] = {}
+    for decl in decls:
+        callees = (free_vars(decl.body) - _decl_param_names(decl)) & names
+        graph[decl.name] = frozenset(callees)
+    return graph
+
+
+def strongly_connected_components(
+        graph: Dict[str, FrozenSet[str]]) -> List[FrozenSet[str]]:
+    """Tarjan's algorithm, iterative, in deterministic insertion order."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[FrozenSet[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = sorted(graph.get(node, frozenset()))
+            for offset in range(child_index, len(children)):
+                child = children[offset]
+                if child not in index:
+                    work[-1] = (node, offset + 1)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+    return components
+
+
+# ---------------------------------------------------------------------------
+# Unused definitions
+# ---------------------------------------------------------------------------
+
+
+def _type_datatypes(ty: Optional[Type]) -> Set[str]:
+    if ty is None:
+        return set()
+    if isinstance(ty, TData):
+        return {ty.name}
+    if isinstance(ty, TProd):
+        result: Set[str] = set()
+        for item in ty.items:
+            result |= _type_datatypes(item)
+        return result
+    if isinstance(ty, TArrow):
+        return _type_datatypes(ty.arg) | _type_datatypes(ty.result)
+    return set()
+
+
+def _expr_type_mentions(expr: Expr) -> Set[str]:
+    """Datatype names mentioned in annotations inside an expression."""
+    if isinstance(expr, EVar):
+        return set()
+    if isinstance(expr, ECtor):
+        return _expr_type_mentions(expr.payload) if expr.payload is not None else set()
+    if isinstance(expr, ETuple):
+        result: Set[str] = set()
+        for item in expr.items:
+            result |= _expr_type_mentions(item)
+        return result
+    if isinstance(expr, EProj):
+        return _expr_type_mentions(expr.expr)
+    if isinstance(expr, EApp):
+        return _expr_type_mentions(expr.fn) | _expr_type_mentions(expr.arg)
+    if isinstance(expr, EFun):
+        return _type_datatypes(expr.param_type) | _expr_type_mentions(expr.body)
+    if isinstance(expr, ELet):
+        return _expr_type_mentions(expr.value) | _expr_type_mentions(expr.body)
+    if isinstance(expr, EMatch):
+        result = _expr_type_mentions(expr.scrutinee)
+        for branch in expr.branches:
+            result |= _expr_type_mentions(branch.body)
+        return result
+    return set()
+
+
+def _expr_ctor_uses(expr: Expr) -> Set[str]:
+    """Constructor names used (built or matched on) inside an expression."""
+    result: Set[str] = set()
+
+    def pattern(p: Pattern) -> None:
+        if isinstance(p, PCtor):
+            result.add(p.ctor)
+            if p.payload is not None:
+                pattern(p.payload)
+        elif isinstance(p, PTuple):
+            for item in p.items:
+                pattern(item)
+
+    def walk(e: Expr) -> None:
+        if isinstance(e, ECtor):
+            result.add(e.ctor)
+            if e.payload is not None:
+                walk(e.payload)
+        elif isinstance(e, ETuple):
+            for item in e.items:
+                walk(item)
+        elif isinstance(e, EProj):
+            walk(e.expr)
+        elif isinstance(e, EApp):
+            walk(e.fn)
+            walk(e.arg)
+        elif isinstance(e, EFun):
+            walk(e.body)
+        elif isinstance(e, ELet):
+            walk(e.value)
+            walk(e.body)
+        elif isinstance(e, EMatch):
+            walk(e.scrutinee)
+            for branch in e.branches:
+                pattern(branch.pattern)
+                walk(branch.body)
+
+    walk(expr)
+    return result
+
+
+def unused_definitions(decls: Sequence[object],
+                       roots: Iterable[str]) -> List[object]:
+    """Module declarations unreachable from the interface ``roots``.
+
+    Function reachability follows the call graph; a type declaration is
+    live when a live function mentions it (signature, annotation, or any
+    of its constructors) or a live type declaration embeds it in a payload.
+    """
+    fun_decls = [d for d in decls if isinstance(d, FunDecl)]
+    type_decls = [d for d in decls if isinstance(d, TypeDecl)]
+    graph = build_call_graph(fun_decls)
+
+    live: Set[str] = set()
+    frontier = [name for name in roots if name in graph]
+    while frontier:
+        name = frontier.pop()
+        if name in live:
+            continue
+        live.add(name)
+        frontier.extend(graph.get(name, frozenset()))
+
+    ctor_owner = {ctor.name: decl.name for decl in type_decls
+                  for ctor in decl.ctors}
+    live_types: Set[str] = set()
+    for decl in fun_decls:
+        if decl.name not in live:
+            continue
+        mentions = _expr_type_mentions(decl.body)
+        mentions |= _type_datatypes(decl.return_type)
+        for _, param_type in decl.params:
+            mentions |= _type_datatypes(param_type)
+        for ctor in _expr_ctor_uses(decl.body):
+            if ctor in ctor_owner:
+                mentions.add(ctor_owner[ctor])
+        live_types |= mentions
+    # A live type keeps the types its constructor payloads mention alive.
+    changed = True
+    payload_mentions = {
+        decl.name: set().union(*[_type_datatypes(c.payload)
+                                 for c in decl.ctors]) if decl.ctors else set()
+        for decl in type_decls
+    }
+    while changed:
+        changed = False
+        for name in list(live_types):
+            extra = payload_mentions.get(name, set()) - live_types
+            if extra:
+                live_types |= extra
+                changed = True
+
+    unused: List[object] = []
+    for decl in decls:
+        if isinstance(decl, FunDecl) and decl.name not in live:
+            unused.append(decl)
+        elif isinstance(decl, TypeDecl) and decl.name not in live_types:
+            unused.append(decl)
+    return unused
+
+
+# ---------------------------------------------------------------------------
+# Structural-recursion checking
+# ---------------------------------------------------------------------------
+
+
+# Relation of a local variable to the parameters of the enclosing recursive
+# definition: a set of (parameter index, strictly smaller) pairs.
+_Rel = Dict[str, FrozenSet[Tuple[int, bool]]]
+
+_STRICT = "strict"
+_NONSTRICT = "nonstrict"
+_UNRELATED = "unrelated"
+
+
+@dataclass
+class _CallSite:
+    args: Tuple[Expr, ...]
+    partial: bool
+
+
+def _bind_pattern(pattern: Pattern, rels: FrozenSet[Tuple[int, bool]],
+                  under_ctor: bool, out: _Rel) -> None:
+    """Record relations for variables bound by ``pattern`` when matching a
+    value with relations ``rels``; crossing a constructor makes them strict."""
+    if isinstance(pattern, PVar):
+        out[pattern.name] = frozenset(
+            (i, True) if under_ctor else (i, s) for i, s in rels)
+    elif isinstance(pattern, PCtor) and pattern.payload is not None:
+        _bind_pattern(pattern.payload, rels, True, out)
+    elif isinstance(pattern, PTuple):
+        for item in pattern.items:
+            # Tuple components keep their ancestor's strictness: projecting
+            # out of a product does not cross a constructor cell.
+            _bind_pattern(item, rels, under_ctor, out)
+
+
+def _arg_relation(arg: Expr, rel: _Rel, j: int) -> str:
+    """How ``arg`` compares (in structural size) to parameter ``j``."""
+    if isinstance(arg, EVar):
+        pairs = rel.get(arg.name, frozenset())
+        if (j, True) in pairs:
+            return _STRICT
+        if (j, False) in pairs:
+            return _NONSTRICT
+        return _UNRELATED
+    if isinstance(arg, ETuple):
+        relations = [_arg_relation(item, rel, j) for item in arg.items]
+        if any(r == _UNRELATED for r in relations):
+            return _UNRELATED
+        if any(r == _STRICT for r in relations):
+            return _STRICT
+        return _NONSTRICT
+    return _UNRELATED
+
+
+# A size-change graph: for each (param i, arg position j) the strongest
+# provable size relation, ``True`` for strictly-smaller and ``False`` for
+# no-larger.  Absent pairs are unrelated.
+_SizeGraph = Tuple[Tuple[int, int, bool], ...]
+
+
+def _call_graph_edges(site: "_CallSite", rel: _Rel, arity: int) -> _SizeGraph:
+    edges: List[Tuple[int, int, bool]] = []
+    for j in range(min(arity, len(site.args))):
+        for i in range(arity):
+            relation = _arg_relation(site.args[j], rel, i)
+            if relation == _STRICT:
+                edges.append((i, j, True))
+            elif relation == _NONSTRICT:
+                edges.append((i, j, False))
+    return tuple(sorted(edges))
+
+
+def _compose(g1: _SizeGraph, g2: _SizeGraph) -> _SizeGraph:
+    """Sequential composition of size-change graphs: an (i, k) edge exists
+    when some j links them, strict when either leg is strict.  Every base
+    inequality is simultaneously true, so keeping the strictest derived
+    edge per pair is sound."""
+    best: Dict[Tuple[int, int], bool] = {}
+    by_source: Dict[int, List[Tuple[int, bool]]] = {}
+    for j, k, strict in g2:
+        by_source.setdefault(j, []).append((k, strict))
+    for i, j, s1 in g1:
+        for k, s2 in by_source.get(j, []):
+            strict = s1 or s2
+            if strict or not best.get((i, k), False):
+                best[(i, k)] = best.get((i, k), False) or strict
+    return tuple(sorted((i, k, s) for (i, k), s in best.items()))
+
+
+def _size_change_terminates(graphs: Sequence[_SizeGraph]) -> bool:
+    """Lee–Jones–Ben-Amram size-change termination for one self-recursive
+    definition: close the call graphs under composition; the definition
+    terminates when every idempotent graph in the closure carries a strict
+    self-edge (some parameter strictly shrinks along every loop)."""
+    closure: Set[_SizeGraph] = set(graphs)
+    frontier = list(graphs)
+    while frontier:
+        graph = frontier.pop()
+        for other in list(closure):
+            for composed in (_compose(graph, other), _compose(other, graph)):
+                if composed not in closure:
+                    closure.add(composed)
+                    frontier.append(composed)
+    for graph in closure:
+        if _compose(graph, graph) == graph:  # idempotent: a realizable loop
+            if not any(i == j and strict for i, j, strict in graph):
+                return False
+    return True
+
+
+def _uncurry(expr: EApp) -> Tuple[Expr, Tuple[Expr, ...]]:
+    args: List[Expr] = []
+    head: Expr = expr
+    while isinstance(head, EApp):
+        args.append(head.arg)
+        head = head.fn
+    return head, tuple(reversed(args))
+
+
+def _collect_calls(expr: Expr, name: str, arity: int, rel: _Rel,
+                   out: List[Tuple[_CallSite, _Rel]]) -> None:
+    if isinstance(expr, EVar):
+        if expr.name == name:
+            # A bare reference outside application position escapes the
+            # structural argument discipline entirely.
+            out.append((_CallSite((), True), dict(rel)))
+        return
+    if isinstance(expr, ECtor):
+        if expr.payload is not None:
+            _collect_calls(expr.payload, name, arity, rel, out)
+        return
+    if isinstance(expr, ETuple):
+        for item in expr.items:
+            _collect_calls(item, name, arity, rel, out)
+        return
+    if isinstance(expr, EProj):
+        _collect_calls(expr.expr, name, arity, rel, out)
+        return
+    if isinstance(expr, EApp):
+        head, args = _uncurry(expr)
+        if isinstance(head, EVar) and head.name == name:
+            out.append((_CallSite(args, len(args) < arity), dict(rel)))
+            for arg in args:
+                _collect_calls(arg, name, arity, rel, out)
+            return
+        _collect_calls(expr.fn, name, arity, rel, out)
+        _collect_calls(expr.arg, name, arity, rel, out)
+        return
+    if isinstance(expr, EFun):
+        inner = dict(rel)
+        inner.pop(expr.param, None)
+        if expr.param != name:
+            _collect_calls(expr.body, name, arity, inner, out)
+        return
+    if isinstance(expr, ELet):
+        _collect_calls(expr.value, name, arity, rel, out)
+        inner = dict(rel)
+        inner.pop(expr.name, None)
+        if expr.name != name:
+            _collect_calls(expr.body, name, arity, inner, out)
+        return
+    if isinstance(expr, EMatch):
+        _collect_calls(expr.scrutinee, name, arity, rel, out)
+        scrutinee_rels = (rel.get(expr.scrutinee.name, frozenset())
+                          if isinstance(expr.scrutinee, EVar) else frozenset())
+        for branch in expr.branches:
+            inner = dict(rel)
+            bound: _Rel = {}
+            _bind_pattern(branch.pattern, scrutinee_rels, False, bound)
+            # Pattern variables shadow; unbound-relation vars drop out.
+            for var in _pattern_names(branch.pattern):
+                inner.pop(var, None)
+            inner.update(bound)
+            if name not in _pattern_names(branch.pattern):
+                _collect_calls(branch.body, name, arity, inner, out)
+        return
+
+
+def _pattern_names(pattern: Pattern) -> Set[str]:
+    if isinstance(pattern, PVar):
+        return {pattern.name}
+    if isinstance(pattern, PCtor) and pattern.payload is not None:
+        return _pattern_names(pattern.payload)
+    if isinstance(pattern, PTuple):
+        result: Set[str] = set()
+        for item in pattern.items:
+            result |= _pattern_names(item)
+        return result
+    return set()
+
+
+def check_structural_recursion(decl: FunDecl) -> Optional[str]:
+    """``None`` when the definition passes size-change termination,
+    otherwise a human-readable reason.
+
+    Each self-call yields a size-change graph relating every argument
+    position to every parameter; the definition is accepted when the
+    composition closure of those graphs gives every idempotent loop a
+    strictly-decreasing parameter.  This subsumes the fixed-position
+    structural check and additionally proves argument-swapping recursion
+    such as ``merge ar b`` / ``merge br a`` over two trees."""
+    rel: _Rel = {param: frozenset({(i, False)})
+                 for i, (param, _) in enumerate(decl.params)}
+    calls: List[Tuple[_CallSite, _Rel]] = []
+    _collect_calls(decl.body, decl.name, len(decl.params), rel, calls)
+    if not calls:
+        return None
+    if any(site.partial for site, _ in calls):
+        return ("passes itself around (partial application or bare "
+                "reference), so no argument position can be checked")
+    arity = len(decl.params)
+    graphs = [_call_graph_edges(site, site_rel, arity)
+              for site, site_rel in calls]
+    if _size_change_terminates(graphs):
+        return None
+    return ("no combination of argument positions shrinks strictly along "
+            "every recursive path (size-change termination fails)")
+
+
+# ---------------------------------------------------------------------------
+# Module-level driver
+# ---------------------------------------------------------------------------
+
+
+def scan_module_declarations(decls: Sequence[object],
+                             roots: Iterable[str]) -> List[Diagnostic]:
+    """HAN003 and HAN004 diagnostics over the module's own declarations."""
+    diagnostics: List[Diagnostic] = []
+
+    for decl in unused_definitions(decls, roots):
+        kind = "type" if isinstance(decl, TypeDecl) else "definition"
+        diagnostics.append(Diagnostic(
+            "HAN003",
+            f"{kind} {decl.name!r} is not reachable from the module "
+            f"interface (operations, specification, or components)",
+            line=getattr(decl, "line", None), decl=decl.name))
+
+    fun_decls = [d for d in decls if isinstance(d, FunDecl)]
+    graph = build_call_graph(fun_decls)
+    by_name = {d.name: d for d in fun_decls}
+    mutual: Set[str] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            mutual |= component
+            members = ", ".join(sorted(component))
+            for name in sorted(component):
+                diagnostics.append(Diagnostic(
+                    "HAN004",
+                    f"mutual recursion between {members} is not checked "
+                    f"for structural termination",
+                    line=by_name[name].line, decl=name))
+
+    for decl in fun_decls:
+        if decl.name in mutual:
+            continue
+        reason = check_structural_recursion(decl)
+        if reason is not None:
+            diagnostics.append(Diagnostic(
+                "HAN004",
+                f"recursive definition {decl.name!r}: {reason}",
+                line=decl.line, decl=decl.name))
+    return diagnostics

@@ -1,0 +1,351 @@
+"""Match exhaustiveness and unreachable-branch analysis (HAN001 / HAN002).
+
+The type checker validates that every branch of a ``match`` is well typed,
+but says nothing about *coverage*: a non-exhaustive match only fails at
+runtime as a :class:`repro.lang.errors.MatchFailure`, typically deep inside
+enumeration where the offending input is invisible.  This pass decides
+coverage statically with Maranget's pattern-matrix *usefulness* algorithm
+("Warnings for pattern matching", JFP 2007):
+
+* a match is exhaustive iff a wildcard row is *not* useful with respect to
+  the matrix of all branch patterns — and when it is useful, specializing
+  against every constructor yields a concrete **witness value** no branch
+  covers, which we render into the diagnostic;
+* branch *i* is unreachable iff its pattern row is not useful with respect
+  to the rows above it.
+
+Pattern matrices are typed: constructor columns specialize against the
+declared constructor universe (``TypeEnvironment.datatype_ctors``), tuple
+columns against the single tuple constructor, and *open* columns (abstract
+or arrow types, which no pattern can inspect) only via the default matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lang.ast import (
+    Branch,
+    ECtor,
+    EFun,
+    ELet,
+    EMatch,
+    EProj,
+    ETuple,
+    EVar,
+    EApp,
+    Expr,
+    FunDecl,
+    PCtor,
+    PTuple,
+    PVar,
+    PWild,
+    Pattern,
+)
+from ..lang.typecheck import TypeChecker
+from ..lang.types import TData, TProd, Type
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "is_exhaustive",
+    "missing_witness",
+    "render_pattern",
+    "unreachable_branches",
+    "scan_declaration",
+]
+
+_WILD = PWild()
+
+
+def render_pattern(pattern: Pattern) -> str:
+    """Human-readable form of a (witness) pattern for diagnostics."""
+    if isinstance(pattern, PWild):
+        return "_"
+    if isinstance(pattern, PVar):
+        return pattern.name
+    if isinstance(pattern, PTuple):
+        return "(" + ", ".join(render_pattern(p) for p in pattern.items) + ")"
+    assert isinstance(pattern, PCtor)
+    if pattern.payload is None:
+        return pattern.ctor
+    payload = render_pattern(pattern.payload)
+    if isinstance(pattern.payload, PCtor) and pattern.payload.payload is not None:
+        payload = f"({payload})"
+    return f"{pattern.ctor} {payload}"
+
+# A row is a tuple of patterns; the matrix is a list of rows.  Column types
+# travel alongside as a tuple of the same width.
+Row = Tuple[Pattern, ...]
+
+
+def _ctor_arity(payload: Optional[Type]) -> int:
+    return 0 if payload is None else 1
+
+
+def _specialize_row(row: Row, ctor: str, arity: int) -> Optional[Row]:
+    """Specialize one row against constructor ``ctor`` (Maranget's S)."""
+    head, rest = row[0], row[1:]
+    if isinstance(head, (PWild, PVar)):
+        return tuple([_WILD] * arity) + rest
+    if isinstance(head, PCtor):
+        if head.ctor != ctor:
+            return None
+        payload = (head.payload,) if head.payload is not None else ()
+        if len(payload) != arity:
+            # ``C _`` rows for a payload-less constructor cannot type check,
+            # so this only happens on ill-typed input; treat as no match.
+            return None
+        return payload + rest
+    return None
+
+
+def _specialize_tuple_row(row: Row, width: int) -> Optional[Row]:
+    """Specialize one row against the (sole) tuple constructor of ``width``."""
+    head, rest = row[0], row[1:]
+    if isinstance(head, (PWild, PVar)):
+        return tuple([_WILD] * width) + rest
+    if isinstance(head, PTuple) and len(head.items) == width:
+        return tuple(head.items) + rest
+    return None
+
+
+def _default_row(row: Row) -> Optional[Row]:
+    """Maranget's default matrix D: keep rows whose head matches anything."""
+    head, rest = row[0], row[1:]
+    if isinstance(head, (PWild, PVar)):
+        return rest
+    return None
+
+
+def _useful(matrix: List[Row], vector: Row, types: Tuple[Type, ...],
+            env) -> bool:
+    """Is ``vector`` useful w.r.t. ``matrix``?  (Maranget's U.)"""
+    if not vector:
+        return not matrix
+    head, ty = vector[0], types[0]
+
+    if isinstance(head, PCtor):
+        info = env.ctor_info(head.ctor)
+        arity = _ctor_arity(info.payload)
+        sub_types = ((info.payload,) if info.payload is not None else ()) + types[1:]
+        sub_matrix = [r for r in (_specialize_row(row, head.ctor, arity)
+                                  for row in matrix) if r is not None]
+        sub_vector = _specialize_row(vector, head.ctor, arity)
+        return _useful(sub_matrix, sub_vector, sub_types, env)
+
+    if isinstance(head, PTuple):
+        width = len(head.items)
+        item_types = ty.items if isinstance(ty, TProd) else tuple([ty] * width)
+        sub_types = tuple(item_types) + types[1:]
+        sub_matrix = [r for r in (_specialize_tuple_row(row, width)
+                                  for row in matrix) if r is not None]
+        sub_vector = _specialize_tuple_row(vector, width)
+        return _useful(sub_matrix, sub_vector, sub_types, env)
+
+    # Wildcard / variable head.
+    if isinstance(ty, TData) and ty.name in env.datatypes:
+        universe = env.datatype_ctors(ty.name)
+        used = {row[0].ctor for row in matrix if isinstance(row[0], PCtor)}
+        if used and used >= {c.name for c in universe}:
+            # Complete signature: useful iff useful under some constructor.
+            for info in universe:
+                arity = _ctor_arity(info.payload)
+                sub_types = ((info.payload,) if info.payload is not None
+                             else ()) + types[1:]
+                sub_matrix = [r for r in (_specialize_row(row, info.name, arity)
+                                          for row in matrix) if r is not None]
+                sub_vector = tuple([_WILD] * arity) + vector[1:]
+                if _useful(sub_matrix, sub_vector, sub_types, env):
+                    return True
+            return False
+    elif isinstance(ty, TProd):
+        width = len(ty.items)
+        if any(isinstance(row[0], PTuple) for row in matrix):
+            sub_types = tuple(ty.items) + types[1:]
+            sub_matrix = [r for r in (_specialize_tuple_row(row, width)
+                                      for row in matrix) if r is not None]
+            sub_vector = tuple([_WILD] * width) + vector[1:]
+            return _useful(sub_matrix, sub_vector, sub_types, env)
+
+    # Open type, or an incomplete constructor signature: the default matrix.
+    sub_matrix = [r for r in (_default_row(row) for row in matrix)
+                  if r is not None]
+    return _useful(sub_matrix, vector[1:], types[1:], env)
+
+
+def _witness(matrix: List[Row], types: Tuple[Type, ...], env) -> Optional[Row]:
+    """A pattern vector matched by no row of ``matrix``, or ``None``.
+
+    This is the witness-producing variant of usefulness applied to an
+    all-wildcard vector: the returned row is a (possibly partial, wildcards
+    allowed) description of a value the match does not cover.
+    """
+    if not types:
+        return None if matrix else ()
+
+    ty = types[0]
+    if isinstance(ty, TData) and ty.name in env.datatypes:
+        universe = env.datatype_ctors(ty.name)
+        used = {row[0].ctor for row in matrix if isinstance(row[0], PCtor)}
+        if used >= {info.name for info in universe}:
+            # Complete signature: a witness must start with some constructor.
+            for info in universe:
+                arity = _ctor_arity(info.payload)
+                sub_types = ((info.payload,) if info.payload is not None
+                             else ()) + types[1:]
+                sub_matrix = [r for r in (_specialize_row(row, info.name, arity)
+                                          for row in matrix) if r is not None]
+                sub = _witness(sub_matrix, sub_types, env)
+                if sub is not None:
+                    payload = sub[0] if arity else None
+                    return (PCtor(info.name, payload),) + sub[arity:]
+            return None
+        # Incomplete signature (Maranget, Prop. 2): exhaustiveness reduces
+        # exactly to the default matrix, and any missing constructor heads
+        # a witness.  This is also what keeps the search terminating on
+        # recursive types: specialization only descends into rows that
+        # actually spell the constructor out.
+        sub_matrix = [r for r in (_default_row(row) for row in matrix)
+                      if r is not None]
+        sub = _witness(sub_matrix, types[1:], env)
+        if sub is None:
+            return None
+        missing = next((info for info in universe if info.name not in used),
+                       None)
+        if missing is None:  # pragma: no cover - used ⊉ universe implies one
+            return (_WILD,) + sub
+        payload = _WILD if missing.payload is not None else None
+        return (PCtor(missing.name, payload),) + sub
+
+    if isinstance(ty, TProd):
+        width = len(ty.items)
+        sub_types = tuple(ty.items) + types[1:]
+        sub_matrix = [r for r in (_specialize_tuple_row(row, width)
+                                  for row in matrix) if r is not None]
+        sub = _witness(sub_matrix, sub_types, env)
+        if sub is None:
+            return None
+        return (PTuple(tuple(sub[:width])),) + sub[width:]
+
+    # Open type: only wildcard-ish rows can cover it.
+    sub_matrix = [r for r in (_default_row(row) for row in matrix)
+                  if r is not None]
+    sub = _witness(sub_matrix, types[1:], env)
+    if sub is None:
+        return None
+    return (_WILD,) + sub
+
+
+def is_exhaustive(branches: Sequence[Branch], scrutinee_type: Type, env) -> bool:
+    return missing_witness(branches, scrutinee_type, env) is None
+
+
+def missing_witness(branches: Sequence[Branch], scrutinee_type: Type,
+                    env) -> Optional[Pattern]:
+    """A pattern describing a value no branch covers, or ``None``."""
+    matrix: List[Row] = [(b.pattern,) for b in branches]
+    witness = _witness(matrix, (scrutinee_type,), env)
+    return witness[0] if witness else None
+
+
+def unreachable_branches(branches: Sequence[Branch], scrutinee_type: Type,
+                         env) -> List[int]:
+    """Indices of branches shadowed entirely by the branches above them."""
+    unreachable: List[int] = []
+    matrix: List[Row] = []
+    for index, branch in enumerate(branches):
+        row: Row = (branch.pattern,)
+        if matrix and not _useful(matrix, row, (scrutinee_type,), env):
+            unreachable.append(index)
+        matrix.append(row)
+    return unreachable
+
+
+# ---------------------------------------------------------------------------
+# Typed traversal of declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Site:
+    match: EMatch
+    scrutinee_type: Type
+
+
+def _collect_matches(checker: TypeChecker, expr: Expr,
+                     locals_: Dict[str, Type], out: List[_Site]) -> None:
+    """Find every match site with its scrutinee type, mirroring the type
+    checker's local-context threading."""
+    if isinstance(expr, (EVar,)):
+        return
+    if isinstance(expr, ECtor):
+        if expr.payload is not None:
+            _collect_matches(checker, expr.payload, locals_, out)
+        return
+    if isinstance(expr, ETuple):
+        for item in expr.items:
+            _collect_matches(checker, item, locals_, out)
+        return
+    if isinstance(expr, EProj):
+        _collect_matches(checker, expr.expr, locals_, out)
+        return
+    if isinstance(expr, EApp):
+        _collect_matches(checker, expr.fn, locals_, out)
+        _collect_matches(checker, expr.arg, locals_, out)
+        return
+    if isinstance(expr, EFun):
+        inner = dict(locals_)
+        inner[expr.param] = expr.param_type
+        _collect_matches(checker, expr.body, inner, out)
+        return
+    if isinstance(expr, ELet):
+        _collect_matches(checker, expr.value, locals_, out)
+        inner = dict(locals_)
+        inner[expr.name] = checker.infer(expr.value, locals_)
+        _collect_matches(checker, expr.body, inner, out)
+        return
+    if isinstance(expr, EMatch):
+        scrutinee_type = checker.infer(expr.scrutinee, locals_)
+        out.append(_Site(expr, scrutinee_type))
+        _collect_matches(checker, expr.scrutinee, locals_, out)
+        for branch in expr.branches:
+            bindings = checker._check_pattern(branch.pattern, scrutinee_type)
+            inner = dict(locals_)
+            inner.update(bindings)
+            _collect_matches(checker, branch.body, inner, out)
+        return
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def scan_declaration(checker: TypeChecker, decl: FunDecl) -> List[Diagnostic]:
+    """HAN001/HAN002 diagnostics for every match expression in ``decl``."""
+    locals_: Dict[str, Type] = dict(decl.params)
+    if decl.recursive and decl.return_type is not None:
+        from ..lang.types import arrow
+
+        locals_[decl.name] = arrow(*[t for _, t in decl.params],
+                                   decl.return_type)
+    sites: List[_Site] = []
+    _collect_matches(checker, decl.body, locals_, sites)
+
+    diagnostics: List[Diagnostic] = []
+    env = checker.env
+    for site in sites:
+        line = site.match.line if site.match.line is not None else decl.line
+        witness = missing_witness(site.match.branches, site.scrutinee_type, env)
+        if witness is not None:
+            diagnostics.append(Diagnostic(
+                "HAN001",
+                f"non-exhaustive match on {site.scrutinee_type}: "
+                f"no branch covers {render_pattern(witness)}",
+                line=line, decl=decl.name))
+        for index in unreachable_branches(site.match.branches,
+                                          site.scrutinee_type, env):
+            pattern = site.match.branches[index].pattern
+            diagnostics.append(Diagnostic(
+                "HAN002",
+                f"branch {index + 1} ({pattern}) is unreachable: earlier "
+                f"branches already cover every value it matches",
+                line=line, decl=decl.name))
+    return diagnostics

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command-line interface.
 
-Eight subcommands drive the reproduction:
+Nine subcommands drive the reproduction:
 
 ``run``
     Execute a benchmark sweep - by default the fast subset under the Hanoi
@@ -41,6 +41,14 @@ Eight subcommands drive the reproduction:
     Mismatching modules are shrunk to minimal ``.hanoi`` reproducers (see
     docs/fuzzing.md).
 
+``lint``
+    Run the static analyzer over ``.hanoi`` module files (or registered
+    benchmarks): match exhaustiveness, unreachable branches, unused
+    definitions, unprovable termination, and unusable synthesis components,
+    each with a stable ``HAN0xx`` code and a source-line anchor (see
+    docs/analysis.md).  Exits non-zero when any module has findings at
+    warning severity or above.
+
 ``trace``
     Analyze a JSONL trace written with ``--trace``: per-phase time breakdown,
     cache hit-rate tables cross-checked against the stats counters, the
@@ -63,6 +71,9 @@ Examples::
     python -m repro list --group coq --fast
     python -m repro figure8 --modes hanoi conj-str oneshot --jobs 8
     python -m repro fuzz --seed 0 --count 25 --out fuzz-out/
+    python -m repro fuzz --lint --count 50 --out fuzz-out/
+    python -m repro lint examples/modules/ --hash
+    python -m repro lint --all-builtins
     python -m repro trace trace.jsonl --chrome chrome.json
 """
 
@@ -280,6 +291,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--no-oracle", action="store_true",
                       help="skip the ground-truth invariant checks (only "
                            "compare cache configurations)")
+    fuzz.add_argument("--lint", action="store_true",
+                      help="lint the generated corpus instead of running the "
+                           "differential sweep: generated modules must be "
+                           "lint-clean; dirty ones are shrunk to minimal "
+                           ".hanoi reproducers")
     fuzz.add_argument("--profile", choices=sorted(PROFILES), default="quick",
                       help="verifier bounds / timeout profile (default: quick)")
     fuzz.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -292,6 +308,22 @@ def build_parser() -> argparse.ArgumentParser:
                            "the output store")
     _add_trace_arguments(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the static analyzer over .hanoi files or "
+                     "registered benchmarks (docs/analysis.md)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help=".hanoi files, or directories scanned for *.hanoi")
+    lint.add_argument("--benchmark", action="append", default=None,
+                      metavar="NAME",
+                      help="lint one registered benchmark (repeatable)")
+    lint.add_argument("--all-builtins", action="store_true",
+                      help="lint every registered benchmark")
+    lint.add_argument("--hash", action="store_true",
+                      help="also print each module's canonical content hash "
+                           "(the evaluation/pool cache content key)")
+    _add_trace_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     trace = subparsers.add_parser(
         "trace", help="analyze a JSONL trace written with --trace "
@@ -563,6 +595,71 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return trace_analyze.run(args)
 
 
+def _lint_paths(arg_paths: Sequence[str]) -> List[str]:
+    """Expand the ``lint`` positional arguments: directories become their
+    sorted ``*.hanoi`` entries, files are taken as given."""
+    import glob as _glob
+
+    paths: List[str] = []
+    for path in arg_paths:
+        if os.path.isdir(path):
+            entries = sorted(_glob.glob(os.path.join(path, "*.hanoi")))
+            if not entries:
+                raise SystemExit(f"no .hanoi files in directory {path!r}")
+            paths.extend(entries)
+        elif os.path.exists(path):
+            paths.append(path)
+        else:
+            raise SystemExit(f"no such file or directory: {path!r}")
+    return paths
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import analyze_definition, analyze_file
+    from .obs.sinks import emitter_for_run
+    from .suite.registry import get_benchmark
+
+    paths = _lint_paths(args.paths)
+    names = list(args.benchmark or [])
+    if args.all_builtins:
+        names.extend(n for n in all_benchmark_names() if n not in names)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise SystemExit(f"unknown benchmark(s): {', '.join(unknown)} "
+                         f"(see `python -m repro list --benchmarks`)")
+    if not paths and not names:
+        raise SystemExit("nothing to lint: give PATHs, --benchmark NAME, "
+                         "or --all-builtins")
+
+    clean = dirty = 0
+    for path in paths:
+        try:
+            report = analyze_file(path, emitter=emitter_for_run(f"lint/{path}"))
+        except SpecFileError as exc:
+            print(f"{exc.path}:{exc.line or 1}: HAN000 error: {exc.reason}")
+            dirty += 1
+            continue
+        clean, dirty = _print_lint_report(report, args.hash, clean, dirty)
+    for name in names:
+        report = analyze_definition(get_benchmark(name), path=name,
+                                    emitter=emitter_for_run(f"lint/{name}"))
+        clean, dirty = _print_lint_report(report, args.hash, clean, dirty)
+
+    total = clean + dirty
+    print(f"linted {total} module(s): {clean} clean, {dirty} with warnings")
+    return 1 if dirty else 0
+
+
+def _print_lint_report(report, show_hash: bool, clean: int, dirty: int):
+    for diagnostic in report.diagnostics:
+        print(diagnostic.render())
+    if report.ok:
+        suffix = f"  [{report.content_hash[:12]}]" if show_hash else ""
+        print(f"{report.path}: ok{suffix}")
+        return clean + 1, dirty
+    return clean, dirty + 1
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .experiments.runner import ExperimentTask
     from .gen.diff import VARIANT_NAMES, compare_stored, fuzz_module, variant_config
@@ -580,6 +677,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     corpus_dir = os.path.join(args.out, "corpus")
     write_corpus(corpus, corpus_dir)
     print(f"generated {len(corpus)} module(s) (seed {args.seed}) -> {corpus_dir}")
+    if args.lint:
+        return _fuzz_lint(corpus, args)
     pack = _register_pack(corpus_dir)
     definitions = {module.name: module.definition for module in corpus}
 
@@ -660,6 +759,49 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                   f"{len(minimal.source.strip().splitlines())} source line(s))")
 
     return 0 if report.ok else 1
+
+
+def _fuzz_lint(corpus, args: argparse.Namespace) -> int:
+    """The ``fuzz --lint`` stage: every generated module must be lint-clean.
+
+    Generated modules carry known-by-construction invariants, so an analyzer
+    warning on one is an analyzer bug (or a generator bug); the offending
+    module is shrunk to a minimal ``.hanoi`` reproducer that still triggers
+    one of the same diagnostic codes."""
+    from .analysis.lint import analyze_definition
+    from .gen.shrink import shrink_module, write_reproducer
+
+    dirty = []
+    for module in corpus:
+        report = analyze_definition(module.definition, path=module.name)
+        if report.ok:
+            continue
+        dirty.append((module, report))
+        for diagnostic in report.diagnostics:
+            print(diagnostic.render())
+    print(f"linted {len(corpus)} generated module(s): "
+          f"{len(corpus) - len(dirty)} clean, {len(dirty)} with warnings")
+    if not dirty:
+        return 0
+
+    if args.shrink:
+        reproducer_dir = os.path.join(args.out, "reproducers")
+        for module, report in dirty:
+            codes = {d.code for d in report.diagnostics if d.rank >= 1}
+
+            def still_warns(candidate, _codes=codes):
+                rerun = analyze_definition(candidate)
+                return any(d.code in _codes and d.rank >= 1
+                           for d in rerun.diagnostics)
+
+            try:
+                minimal = shrink_module(module.definition, still_warns)
+            except ValueError as exc:
+                print(f"  shrink: {module.name}: {exc}")
+                minimal = module.definition
+            path = write_reproducer(minimal, reproducer_dir)
+            print(f"  reproducer: {path} (codes: {', '.join(sorted(codes))})")
+    return 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -131,6 +131,13 @@ class SynthesisBounds:
     max_candidates: int = 12
     #: Hard cap on terms enumerated per branch before giving up.
     max_terms_per_branch: int = 60000
+    #: Drop synthesis components that type-inhabitation reachability proves
+    #: can never appear in a well-typed goal term before the term pool is
+    #: built (``repro.analysis.reachability``).  Sound: the analysis
+    #: over-approximates both constructible argument types and
+    #: goal-reaching result types, so the candidate stream is identical
+    #: with the switch on or off.
+    component_pruning: bool = True
 
 
 @dataclass(frozen=True)
@@ -179,3 +186,8 @@ class HanoiConfig:
     def without_synthesis_evaluation_caching(self) -> "HanoiConfig":
         """The pool-cache ablation configuration (``--no-pool-cache``)."""
         return replace(self, synthesis_evaluation_caching=False)
+
+    def without_component_pruning(self) -> "HanoiConfig":
+        """The analysis-pruning ablation configuration (``--no-pruning``)."""
+        return replace(self, synthesis_bounds=replace(
+            self.synthesis_bounds, component_pruning=False))

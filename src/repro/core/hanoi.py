@@ -37,6 +37,7 @@ from ..inductive.relation import ConditionalInductivenessChecker
 from ..lang.values import Value, value_size
 from ..obs.events import Emitter, LegacyRecorder
 from ..obs.sinks import LegacyEventSink, installed_sinks
+from ..analysis.canon import canonical_hash
 from ..synth.base import SynthesisFailure
 from ..synth.cache import SynthesisResultCache
 from ..synth.myth import MythSynthesizer
@@ -89,8 +90,20 @@ class HanoiInference:
         self.stats = InferenceStats()
         self.deadline: Deadline = self.config.deadline()
         self.enumerator = ValueEnumerator(self.instance.program.types)
+        # Caches are keyed by the module's canonical content hash: two
+        # alpha-equivalent spellings of the same module share a key, so any
+        # future cross-run reuse (or trace comparison) identifies cached work
+        # by behaviour rather than source text.
+        content_key = ""
+        if self.config.evaluation_caching or self.config.synthesis_evaluation_caching:
+            try:
+                content_key = canonical_hash(module)
+            except Exception:
+                content_key = ""
+        self.content_key = content_key
         self.eval_cache: Optional[EvaluationCache] = (
-            EvaluationCache() if self.config.evaluation_caching else None
+            EvaluationCache(content_key=content_key)
+            if self.config.evaluation_caching else None
         )
         self.verifier = Verifier(
             self.instance, self.enumerator, self.config.verifier_bounds, self.stats,
@@ -107,7 +120,8 @@ class HanoiInference:
             emitter=self.emitter,
         )
         self.pool_cache: Optional[SynthesisEvaluationCache] = (
-            SynthesisEvaluationCache() if self.config.synthesis_evaluation_caching else None
+            SynthesisEvaluationCache(content_key=content_key)
+            if self.config.synthesis_evaluation_caching else None
         )
         factory = synthesizer_factory or MythSynthesizer
         self.synthesizer = factory(

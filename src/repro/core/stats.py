@@ -48,6 +48,9 @@ class InferenceStats:
     #: Synthesis component applications computed fresh while the pool cache
     #: was active (0/0 when the cache is disabled).
     pool_cache_misses: int = 0
+    #: Synthesis components dropped by type-inhabitation reachability before
+    #: term-pool construction (0 when pruning is disabled or nothing prunes).
+    components_pruned: int = 0
     #: Number of positive examples added across the run.
     positives_added: int = 0
     #: Number of negative examples added across the run.
@@ -124,6 +127,7 @@ class InferenceStats:
             "eval_cache_misses": self.eval_cache_misses,
             "pool_cache_hits": self.pool_cache_hits,
             "pool_cache_misses": self.pool_cache_misses,
+            "components_pruned": self.components_pruned,
             "positives_added": self.positives_added,
             "negatives_added": self.negatives_added,
             "candidates_proposed": self.candidates_proposed,
@@ -144,6 +148,7 @@ class InferenceStats:
         "eval_cache_misses",
         "pool_cache_hits",
         "pool_cache_misses",
+        "components_pruned",
         "positives_added",
         "negatives_added",
         "candidates_proposed",

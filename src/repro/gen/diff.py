@@ -48,6 +48,7 @@ __all__ = [
     "DifferentialMismatch",
     "OracleFailure",
     "FuzzReport",
+    "canonicalization_mismatches",
     "fuzz_module",
     "fuzz_corpus",
     "compare_stored",
@@ -134,20 +135,28 @@ def _env_fault_hook(definitions: Dict[str, ModuleDefinition]) -> Optional[FaultH
 
 @dataclass(frozen=True)
 class DifferentialMismatch:
-    """One ``(benchmark, mode)`` pair whose variants disagree."""
+    """One ``(benchmark, mode)`` pair whose runs disagree.
+
+    ``kind`` says which axis disagreed: the cache-variant matrix (the
+    default) or the original-versus-canonicalized module comparison."""
 
     benchmark: str
     mode: str
-    #: variant tag -> fingerprint (missing variants are absent).
+    #: run tag -> fingerprint (missing runs are absent).  Cache-matrix
+    #: mismatches use the variant tags; canonicalization mismatches use
+    #: ``original`` / ``canonical``.
     fingerprints: Dict[str, dict]
+    kind: str = "cache variants"
 
     def describe(self) -> str:
-        lines = [f"{self.benchmark} [{self.mode}]: cache variants disagree"]
-        for variant in VARIANT_NAMES:
-            if variant in self.fingerprints:
-                lines.append(f"  {variant:10s} {_fingerprint_bytes(self.fingerprints[variant])}")
+        lines = [f"{self.benchmark} [{self.mode}]: {self.kind} disagree"]
+        keys = (VARIANT_NAMES if self.kind == "cache variants"
+                else tuple(self.fingerprints))
+        for key in keys:
+            if key in self.fingerprints:
+                lines.append(f"  {key:10s} {_fingerprint_bytes(self.fingerprints[key])}")
             else:
-                lines.append(f"  {variant:10s} (missing)")
+                lines.append(f"  {key:10s} (missing)")
         return "\n".join(lines)
 
 
@@ -188,6 +197,42 @@ class FuzzReport:
         return (f"differential fuzz {status}: {len(self.benchmarks)} module(s), "
                 f"{self.runs} run(s), {len(self.mismatches)} mismatch(es), "
                 f"{len(self.oracle_failures)} oracle failure(s)")
+
+
+# -- canonicalization transparency ------------------------------------------------
+
+
+def canonicalization_mismatches(definition: ModuleDefinition,
+                                modes: Sequence[str] = DEFAULT_FUZZ_MODES,
+                                config: Optional[HanoiConfig] = None,
+                                ) -> List[DifferentialMismatch]:
+    """Run the module and its canonicalized form through each mode.
+
+    The canonicalizing rewrites (:mod:`repro.analysis.canon`) advertise
+    behaviour preservation: constant folding, dead-branch elimination, and
+    alpha-normalization must not change what inference concludes.  This is
+    the harness that holds them to it - the outcome fingerprints of the
+    original and the canonicalized module must be byte-identical per mode.
+    """
+    from ..analysis.canon import canonicalize_definition
+    from ..experiments.runner import quick_config, run_module
+
+    base = config or quick_config()
+    canonical = canonicalize_definition(definition)
+    mismatches: List[DifferentialMismatch] = []
+    for mode in modes:
+        fingerprints = {
+            "original": outcome_fingerprint(
+                run_module(definition, mode=mode, config=base)),
+            "canonical": outcome_fingerprint(
+                run_module(canonical, mode=mode, config=base)),
+        }
+        rendered = {_fingerprint_bytes(fp) for fp in fingerprints.values()}
+        if len(rendered) != 1:
+            mismatches.append(DifferentialMismatch(
+                benchmark=definition.name, mode=mode,
+                fingerprints=fingerprints, kind="canonicalization"))
+    return mismatches
 
 
 # -- in-process sweeps -----------------------------------------------------------
@@ -260,8 +305,13 @@ def fuzz_module(definition: ModuleDefinition,
                 config: Optional[HanoiConfig] = None,
                 require_success: Sequence[str] = ("hanoi",),
                 fault: Optional[FaultHook] = None,
-                check_oracle: bool = True) -> FuzzReport:
-    """Run one module through ``modes`` x cache variants, in process."""
+                check_oracle: bool = True,
+                check_canonical: bool = False) -> FuzzReport:
+    """Run one module through ``modes`` x cache variants, in process.
+
+    With ``check_canonical``, additionally re-run each mode on the
+    canonicalized module and require byte-identical outcomes (doubles the
+    per-mode work, so off by default)."""
     from ..experiments.runner import quick_config, run_module
 
     base = config or quick_config()
@@ -297,6 +347,10 @@ def fuzz_module(definition: ModuleDefinition,
         mismatch = _diff_variants(definition.name, mode, fingerprints)
         if mismatch is not None:
             report.mismatches.append(mismatch)
+    if check_canonical:
+        report.mismatches.extend(
+            canonicalization_mismatches(definition, modes=modes, config=base))
+        report.runs += 2 * len(modes)
     return report
 
 

@@ -17,7 +17,7 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from .types import Type
@@ -205,10 +205,17 @@ class Branch:
 
 @dataclass(frozen=True)
 class EMatch(Expr):
-    """A match expression over a scrutinee with one or more branches."""
+    """A match expression over a scrutinee with one or more branches.
+
+    ``line`` is the source line of the ``match`` (or desugared ``if``)
+    keyword when the expression came from the parser, ``None`` for
+    programmatically built nodes.  It is excluded from equality and hashing:
+    the synthesizer's caches and dedup sets compare expressions structurally.
+    """
 
     scrutinee: Expr
     branches: Tuple[Branch, ...]
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         arms = " ".join(str(b) for b in self.branches)
@@ -230,10 +237,16 @@ class CtorDecl:
 
 @dataclass(frozen=True)
 class TypeDecl:
-    """A data type declaration ``type name = C1 [of t1] | C2 [of t2] | ...``."""
+    """A data type declaration ``type name = C1 [of t1] | C2 [of t2] | ...``.
+
+    ``line`` is the declaration's starting source line when parsed from
+    source (``None`` for programmatic declarations); it is excluded from
+    equality and hashing so structural comparison is position-independent.
+    """
 
     name: str
     ctors: Tuple[CtorDecl, ...]
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -243,6 +256,10 @@ class FunDecl:
     ``params`` is a tuple of ``(name, type)`` pairs; a definition with no
     parameters is a plain value binding.  ``return_type`` may be ``None`` when
     omitted in the source, in which case the type checker infers it.
+
+    ``line`` is the declaration's starting source line when parsed from
+    source (``None`` for programmatic declarations); it is excluded from
+    equality and hashing so structural comparison is position-independent.
     """
 
     name: str
@@ -250,6 +267,7 @@ class FunDecl:
     return_type: Optional[Type]
     body: Expr
     recursive: bool = False
+    line: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 Decl = object  # TypeDecl | FunDecl; kept loose for Python 3.9 compatibility.

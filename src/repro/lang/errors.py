@@ -37,7 +37,27 @@ class TypeError_(LangError):
     """Raised when an expression or declaration fails to type check.
 
     Named with a trailing underscore to avoid shadowing the Python builtin.
+
+    ``line`` is the source line of the declaration the error was raised in,
+    when known (the checker anchors errors to the enclosing declaration's
+    position recorded by the parser).  ``bare_message`` is the message
+    without the position suffix, for callers such as the ``.hanoi`` loader
+    that render positions themselves.
     """
+
+    def __init__(self, message: str, line=None):
+        self.bare_message = message
+        self.line = line
+        if line is not None:
+            super().__init__(f"{message} (line {line})")
+        else:
+            super().__init__(message)
+
+    def with_line(self, line) -> "TypeError_":
+        """A copy anchored at ``line``; returns ``self`` if already anchored."""
+        if self.line is not None or line is None:
+            return self
+        return TypeError_(self.bare_message, line)
 
 
 class EvalError(LangError):

@@ -122,14 +122,14 @@ class Parser:
         )
 
     def _parse_type_decl(self) -> TypeDecl:
-        self._expect("KEYWORD", "type")
+        keyword = self._expect("KEYWORD", "type")
         name = self._expect("LIDENT").text
         self._expect("EQUAL")
         self._match("BAR")
         ctors = [self._parse_ctor_decl()]
         while self._match("BAR"):
             ctors.append(self._parse_ctor_decl())
-        return TypeDecl(name, tuple(ctors))
+        return TypeDecl(name, tuple(ctors), line=keyword.line)
 
     def _parse_ctor_decl(self) -> CtorDecl:
         name = self._expect("UIDENT").text
@@ -139,7 +139,7 @@ class Parser:
         return CtorDecl(name, payload)
 
     def _parse_let_decl(self) -> FunDecl:
-        self._expect("KEYWORD", "let")
+        keyword = self._expect("KEYWORD", "let")
         recursive = self._match("KEYWORD", "rec") is not None
         name = self._expect("LIDENT").text
         params: List[Tuple[str, Type]] = []
@@ -155,7 +155,7 @@ class Parser:
             return_type = self.parse_type()
         self._expect("EQUAL")
         body = self.parse_expr()
-        return FunDecl(name, tuple(params), return_type, body, recursive)
+        return FunDecl(name, tuple(params), return_type, body, recursive, line=keyword.line)
 
     # -- types ---------------------------------------------------------------
 
@@ -217,14 +217,14 @@ class Parser:
         return ELet(name, value, body)
 
     def _parse_match(self) -> Expr:
-        self._expect("KEYWORD", "match")
+        keyword = self._expect("KEYWORD", "match")
         scrutinee = self.parse_expr()
         self._expect("KEYWORD", "with")
         self._match("BAR")
         branches = [self._parse_branch()]
         while self._match("BAR"):
             branches.append(self._parse_branch())
-        return EMatch(scrutinee, tuple(branches))
+        return EMatch(scrutinee, tuple(branches), line=keyword.line)
 
     def _parse_branch(self) -> Branch:
         pattern = self.parse_pattern()
@@ -233,7 +233,7 @@ class Parser:
         return Branch(pattern, body)
 
     def _parse_if(self) -> Expr:
-        self._expect("KEYWORD", "if")
+        keyword = self._expect("KEYWORD", "if")
         condition = self.parse_expr()
         self._expect("KEYWORD", "then")
         then_branch = self.parse_expr()
@@ -245,6 +245,7 @@ class Parser:
                 Branch(PCtor("True"), then_branch),
                 Branch(PCtor("False"), else_branch),
             ),
+            line=keyword.line,
         )
 
     def _parse_app(self) -> Expr:

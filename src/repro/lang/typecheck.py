@@ -14,6 +14,7 @@ application and match sites.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -106,21 +107,35 @@ class TypeChecker:
         decls = list(decls)
         for decl in decls:
             if isinstance(decl, TypeDecl):
-                self._check_type_decl(decl)
+                with self._positioned(decl):
+                    self._check_type_decl(decl)
             elif not isinstance(decl, FunDecl):
                 raise TypeError_(f"unknown declaration: {decl!r}")
         for decl in decls:
             if isinstance(decl, FunDecl) and decl.params and decl.return_type is not None:
-                for _, param_type in decl.params:
-                    self._check_wellformed(param_type)
-                self._check_wellformed(decl.return_type)
+                with self._positioned(decl):
+                    for _, param_type in decl.params:
+                        self._check_wellformed(param_type)
+                    self._check_wellformed(decl.return_type)
                 self.env.globals.setdefault(
                     decl.name, arrow(*[t for _, t in decl.params], decl.return_type)
                 )
         for decl in decls:
             if isinstance(decl, FunDecl):
-                self._check_fun_decl(decl)
+                with self._positioned(decl):
+                    self._check_fun_decl(decl)
         return self.env
+
+    @contextmanager
+    def _positioned(self, decl):
+        """Anchor any :class:`TypeError_` escaping the block to ``decl``'s line."""
+        try:
+            yield
+        except TypeError_ as exc:
+            anchored = exc.with_line(getattr(decl, "line", None))
+            if anchored is exc:
+                raise
+            raise anchored from None
 
     def _check_type_decl(self, decl: TypeDecl) -> None:
         self.env.declare_datatype(decl)

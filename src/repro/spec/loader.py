@@ -306,14 +306,21 @@ def _expected_invariant_source(text: str, parser: _SpecParser) -> Optional[str]:
 
 def _extend_checked(program: Program, parser: _SpecParser,
                     decls: List[_SpannedDecl]) -> None:
-    """Type-check declarations one at a time, anchoring failures."""
+    """Type-check declarations one at a time, anchoring failures.
+
+    A :class:`TypeError_` that already carries a line (the checker anchors
+    errors to the enclosing declaration) wins over the span recorded here;
+    its ``bare_message`` is used so the position is not rendered twice.
+    """
     for spanned in decls:
         try:
             program.extend_declarations([spanned.decl])
         except LangError as exc:
+            message = getattr(exc, "bare_message", None) or str(exc)
+            line = getattr(exc, "line", None) or spanned.line
             raise SpecFileError(
-                f"in declaration {spanned.name!r}: {exc}",
-                parser.path, spanned.line) from exc
+                f"in declaration {spanned.name!r}: {message}",
+                parser.path, line) from exc
 
 
 def _check_program(parser: _SpecParser) -> Program:

@@ -336,12 +336,6 @@ let rec all_gt (t : tree) (x : nat) : bool =
   | Leaf -> True
   | Node (c, lhs, label, rhs) ->
       andb (nat_lt x label) (andb (all_gt lhs x) (all_gt rhs x))
-
-let rec elements_subset (a : tree) (b : tree) : bool =
-  match a with
-  | Leaf -> True
-  | Node (c, lhs, label, rhs) ->
-      andb (member b label) (andb (elements_subset lhs b) (elements_subset rhs b))
 """
 
 _RBTREE_SPEC = """

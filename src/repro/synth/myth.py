@@ -32,6 +32,7 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..analysis.reachability import split_components
 from ..core.config import Deadline, SynthesisBounds
 from ..core.module import ModuleInstance
 from ..core.predicate import INVARIANT_NAME, Predicate
@@ -91,6 +92,10 @@ class MythSynthesizer:
         #: mappings lets the pool cache replay recursive-call pools across
         #: synthesize() calls whose examples did not change.
         self._oracle_fns: Dict[frozenset, Value] = {}
+        #: Memoized reachability pruning: component-name set it was computed
+        #: for, and the unusable names it found.
+        self._unusable_for: Optional[frozenset] = None
+        self._unusable: frozenset = frozenset()
         self.param = self._fresh_name("x")
 
     # -- public API ----------------------------------------------------------------
@@ -432,9 +437,39 @@ class MythSynthesizer:
         for name, (signature, fn) in self.extra_components.items():
             if _is_first_order_function(signature):
                 components.append(TypedComponent(name, signature, fn))
+        if self.bounds.component_pruning:
+            unusable = self._unusable_component_names(components)
+            if unusable:
+                components = [c for c in components if c.name not in unusable]
         if decreasing:
             components.append(self._recursive_component(decreasing))
         return components
+
+    def _unusable_component_names(self, components: List[TypedComponent]) -> frozenset:
+        """Components that type-inhabitation reachability proves useless.
+
+        Every branch context consists of the synthesized argument and pieces
+        destructured out of it, so the downward closure of the concrete type
+        over-approximates the variable types of every pool this synthesizer
+        will ever build; pruning computed once against it is sound for all
+        branches.  The recursive invariant component is never pruned (its
+        ``tau_c -> bool`` signature is goal-reaching by construction)."""
+        fixed = frozenset(c.name for c in components)
+        if self._unusable_for != fixed:
+            kept, dropped = split_components(
+                components, [self.concrete_type], self.program.types,
+                TData("bool"), destructure=True)
+            self._unusable_for = fixed
+            self._unusable = frozenset(c.name for c in dropped)
+            if self.stats is not None:
+                self.stats.components_pruned += len(self._unusable)
+            if self._unusable and self.emitter.enabled:
+                self.emitter.emit(
+                    "components-pruned",
+                    {"dropped": sorted(self._unusable),
+                     "kept": sorted(c.name for c in kept)},
+                    cat="analysis")
+        return self._unusable
 
     def _recursive_component(self, decreasing: frozenset) -> TypedComponent:
         """The invariant's recursive self-call, interpreted by the example

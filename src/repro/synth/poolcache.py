@@ -149,14 +149,23 @@ class SynthesisEvaluationCache:
     """
 
     def __init__(self, max_application_entries: int = 500_000,
-                 max_pool_entries: int = 4096) -> None:
+                 max_pool_entries: int = 4096,
+                 content_key: str = "") -> None:
         self.applications = ApplicationMemo(max_application_entries)
         self.pools = PoolMemo(max_pool_entries)
+        #: Canonical content hash of the module the cached work belongs to
+        #: (``repro.analysis.canon.canonical_hash``).  Alpha-equivalent
+        #: modules share a key, so persisted or cross-run reuse is keyed by
+        #: behaviour rather than source spelling.  Empty when unknown.
+        self.content_key = content_key
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, object]:
         """Deterministic occupancy counts, stamped on ``cache-snapshot`` trace
         events so ``repro trace`` can report cache growth per run."""
-        return {
+        snapshot: Dict[str, object] = {
             "application_entries": len(self.applications),
             "pool_entries": len(self.pools),
         }
+        if self.content_key:
+            snapshot["content_key"] = self.content_key
+        return snapshot

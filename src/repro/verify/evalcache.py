@@ -149,15 +149,24 @@ class EvaluationCache:
     sites so the cache itself stays a pure store.
     """
 
-    def __init__(self, max_operation_entries: int = 200_000) -> None:
+    def __init__(self, max_operation_entries: int = 200_000,
+                 content_key: str = "") -> None:
         self.spec = SpecStream()
         self.operations = OperationMemo(max_operation_entries)
+        #: Canonical content hash of the module the cached work belongs to
+        #: (``repro.analysis.canon.canonical_hash``).  Alpha-equivalent
+        #: modules share a key, so persisted or cross-run reuse is keyed by
+        #: behaviour rather than source spelling.  Empty when unknown.
+        self.content_key = content_key
 
     def snapshot(self) -> Dict[str, object]:
         """Deterministic occupancy counts, stamped on ``cache-snapshot`` trace
         events so ``repro trace`` can report cache growth per run."""
-        return {
+        snapshot: Dict[str, object] = {
             "spec_entries": len(self.spec.entries),
             "spec_exhausted": self.spec.exhausted,
             "operation_entries": len(self.operations),
         }
+        if self.content_key:
+            snapshot["content_key"] = self.content_key
+        return snapshot

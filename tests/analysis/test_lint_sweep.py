@@ -1,0 +1,51 @@
+"""Clean-lint sweeps: every module we ship or generate lints clean.
+
+These are the analyzer's end-to-end regression net — a new pass that
+starts flagging curated benchmarks (or fuzz-generated modules from any
+scenario family) fails here first.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.lint import analyze_definition, analyze_file
+from repro.gen.modgen import FAMILIES, generate_corpus, generate_module
+from repro.suite.registry import all_benchmark_names, get_benchmark
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples" / "modules")
+    .glob("*.hanoi"))
+
+
+@pytest.mark.parametrize("name", all_benchmark_names())
+def test_builtin_lints_clean(name):
+    report = analyze_definition(get_benchmark(name), path=name)
+    assert report.ok, report.render()
+    assert report.content_hash
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_module_lints_clean(path):
+    report = analyze_file(str(path))
+    assert report.ok, report.render()
+
+
+def test_all_families_produce_clean_modules():
+    seen = set()
+    seed = 0
+    # Walk seeds until every scenario family has been linted at least once.
+    while seen != set(FAMILIES) and seed < 500:
+        module = generate_module(seed)
+        report = analyze_definition(module.definition, path=module.name)
+        assert report.ok, report.render()
+        seen.add(module.family)
+        seed += 1
+    assert seen == set(FAMILIES)
+
+
+@pytest.mark.fuzz
+def test_generated_corpus_lints_clean():
+    for module in generate_corpus(seed=11, count=40):
+        report = analyze_definition(module.definition, path=module.name)
+        assert report.ok, report.render()

@@ -1,0 +1,135 @@
+"""Unit tests for Maranget-style match usefulness analysis."""
+
+from repro.analysis.matches import (
+    is_exhaustive,
+    missing_witness,
+    render_pattern,
+    unreachable_branches,
+)
+from repro.lang.parser import parse_program
+from repro.lang.prelude import PRELUDE_SOURCE
+from repro.lang.program import Program
+from repro.lang.types import TData, TProd
+
+
+def _env(extra: str = ""):
+    program = Program()
+    program.extend(PRELUDE_SOURCE)
+    if extra:
+        program.extend(extra)
+    return program.types
+
+
+def _branches(source: str):
+    """The branches of the single match inside ``let f ... = match ...``."""
+    decl = parse_program(source)[0]
+    return decl.body.branches
+
+
+NAT = TData("nat")
+LIST = TData("list")
+BOOL = TData("bool")
+
+# The prelude has no list type; tests that need one extend the env with this.
+LIST_DEF = "type list = Nil | Cons of nat * list"
+
+
+def test_exhaustive_by_constructors():
+    branches = _branches("""
+let f (n : nat) : bool = match n with | O -> True | S m -> False
+""")
+    env = _env()
+    assert is_exhaustive(branches, NAT, env)
+    assert missing_witness(branches, NAT, env) is None
+
+
+def test_wildcard_is_exhaustive():
+    branches = _branches("let f (n : nat) : bool = match n with | _ -> True")
+    assert is_exhaustive(branches, NAT, _env())
+
+
+def test_missing_constructor_witnessed():
+    branches = _branches("let f (n : nat) : bool = match n with | O -> True")
+    env = _env()
+    assert not is_exhaustive(branches, NAT, env)
+    witness = missing_witness(branches, NAT, env)
+    assert witness is not None
+    assert "S" in render_pattern(witness)
+
+
+def test_witness_terminates_on_recursive_datatype():
+    # list's Cons payload recursively contains list; the witness search
+    # must use the default-matrix shortcut instead of descending forever.
+    branches = _branches("let f (l : list) : bool = match l with | Nil -> True")
+    env = _env(LIST_DEF)
+    assert not is_exhaustive(branches, LIST, env)
+    witness = missing_witness(branches, LIST, env)
+    assert witness is not None
+    assert "Cons" in render_pattern(witness)
+
+
+def test_nested_payload_gap_found():
+    # Cons (hd, Nil) and Nil covered; Cons (hd, Cons ...) is not.
+    branches = _branches("""
+let f (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, Nil) -> False
+""")
+    env = _env(LIST_DEF)
+    assert not is_exhaustive(branches, LIST, env)
+    assert "Cons" in render_pattern(missing_witness(branches, LIST, env))
+
+
+def test_tuple_patterns_exhaustive():
+    branches = _branches("""
+let f (p : nat * bool) : bool =
+  match p with
+  | (O, b) -> True
+  | (S m, b) -> False
+""")
+    assert is_exhaustive(branches, TProd((NAT, BOOL)), _env())
+
+
+def test_unreachable_duplicate_branch():
+    branches = _branches("""
+let f (n : nat) : bool =
+  match n with
+  | O -> True
+  | S m -> False
+  | _ -> True
+""")
+    assert unreachable_branches(branches, NAT, _env()) == [2]
+
+
+def test_unreachable_after_wildcard():
+    branches = _branches("""
+let f (n : nat) : bool =
+  match n with
+  | _ -> True
+  | O -> False
+""")
+    assert unreachable_branches(branches, NAT, _env()) == [1]
+
+
+def test_all_branches_reachable():
+    branches = _branches("""
+let f (l : list) : bool =
+  match l with
+  | Nil -> True
+  | Cons (hd, tl) -> False
+""")
+    assert unreachable_branches(branches, LIST, _env(LIST_DEF)) == []
+
+
+def test_custom_datatype():
+    env = _env("type color = Red | Green | Blue")
+    branches = _branches("""
+let f (c : color) : bool =
+  match c with
+  | Red -> True
+  | Green -> False
+""")
+    color = TData("color")
+    assert not is_exhaustive(branches, color, env)
+    assert "Blue" in render_pattern(missing_witness(branches, color, env))

@@ -1,0 +1,119 @@
+"""Pruning-equivalence tests: reachability pruning never changes results.
+
+Three layers of evidence, cheapest first:
+
+* **pool level** — a :class:`TermPool` built from the pruned component
+  list enumerates exactly the same term stream as one built from the
+  full list;
+* **end-to-end** — inference over a module with an injected junk
+  component (unreachable result type) produces an identical outcome
+  fingerprint with pruning on and off, and the pruned run actually
+  dropped the junk;
+* **suite sweep** — every fast built-in infers the same invariant under
+  both configurations (the full 28-benchmark sweep is gated behind
+  ``PRUNING_FULL=1``).
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.analysis.reachability import prune_components
+from repro.experiments.runner import quick_config, run_module
+from repro.gen.diff import outcome_fingerprint
+from repro.lang.parser import parse_expression
+from repro.lang.prelude import PRELUDE_SOURCE
+from repro.lang.program import Program
+from repro.lang.types import TData
+from repro.suite.registry import BENCHMARKS, FAST_BENCHMARKS, get_benchmark
+from repro.synth.bottomup import TermPool, TypedComponent
+
+NAT = TData("nat")
+BOOL = TData("bool")
+
+POOL_SOURCE = """
+type ghost = Mist of nat
+
+let is_zero (n : nat) : bool = match n with | O -> True | S m -> False
+let rec double (n : nat) : nat = match n with | O -> O | S m -> S (S (double m))
+let haunt (n : nat) : ghost = Mist n
+"""
+
+
+def _junk_extended(definition):
+    """``definition`` plus a component whose result type cannot reach bool."""
+    return dataclasses.replace(
+        definition,
+        source=definition.source
+        + "\n\ntype ghost = Mist of nat\n\nlet haunt (n : nat) : ghost = Mist n\n",
+        synthesis_components=definition.synthesis_components + ("haunt",))
+
+
+def _render_stream(pool, result_type):
+    from repro.lang.pretty import pretty_expr
+    return [pretty_expr(e.expr) for e in pool.entries(result_type)]
+
+
+def test_pool_stream_identical_after_pruning():
+    program = Program()
+    program.extend(PRELUDE_SOURCE)
+    program.extend(POOL_SOURCE)
+    components = [
+        TypedComponent(name, program.global_type(name),
+                       program.global_value(name))
+        for name in ("is_zero", "double", "haunt")]
+    context = [("x", NAT)]
+    environments = [{"x": program.eval_expr(parse_expression(source))}
+                    for source in ("O", "S O", "S (S O)")]
+    pruned = prune_components(components, [NAT], program.types, BOOL)
+    assert [c.name for c in pruned] == ["is_zero", "double"]
+
+    full_pool = TermPool(program, components, context, environments, max_size=5)
+    pruned_pool = TermPool(program, pruned, context, environments, max_size=5)
+    assert _render_stream(full_pool, BOOL) == _render_stream(pruned_pool, BOOL)
+    assert _render_stream(full_pool, NAT) == _render_stream(pruned_pool, NAT)
+
+
+def test_junk_component_pruned_same_outcome():
+    definition = _junk_extended(get_benchmark("/coq/unique-list-::-set"))
+    config = quick_config()
+    pruned = run_module(definition, mode="hanoi", config=config)
+    ablated = run_module(definition, mode="hanoi",
+                         config=config.without_component_pruning())
+    assert outcome_fingerprint(pruned) == outcome_fingerprint(ablated)
+    assert pruned.stats.components_pruned == 1
+    assert ablated.stats.components_pruned == 0
+    assert pruned.succeeded
+
+
+def test_without_component_pruning_roundtrip():
+    config = quick_config()
+    assert config.synthesis_bounds.component_pruning
+    ablation = config.without_component_pruning()
+    assert not ablation.synthesis_bounds.component_pruning
+    # Everything else is untouched.
+    assert ablation.verifier_bounds == config.verifier_bounds
+    assert ablation.timeout_seconds == config.timeout_seconds
+
+
+@pytest.mark.parametrize("name", FAST_BENCHMARKS[:3])
+def test_fast_benchmark_equivalence(name):
+    definition = get_benchmark(name)
+    config = quick_config()
+    default = run_module(definition, mode="hanoi", config=config)
+    ablated = run_module(definition, mode="hanoi",
+                         config=config.without_component_pruning())
+    assert outcome_fingerprint(default) == outcome_fingerprint(ablated)
+
+
+@pytest.mark.skipif(not os.environ.get("PRUNING_FULL"),
+                    reason="set PRUNING_FULL=1 for the full suite sweep")
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_full_suite_equivalence(name):
+    definition = get_benchmark(name)
+    config = quick_config(timeout_seconds=300.0)
+    default = run_module(definition, mode="hanoi", config=config)
+    ablated = run_module(definition, mode="hanoi",
+                         config=config.without_component_pruning())
+    assert outcome_fingerprint(default) == outcome_fingerprint(ablated)

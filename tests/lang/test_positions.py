@@ -1,0 +1,104 @@
+"""Source-position plumbing: every diagnostic layer carries line anchors.
+
+The analyzer (``repro lint``) renders ``path:line:`` prefixes, so the
+parser must stamp declarations/match expressions with their lines, the
+typechecker must anchor escaping errors to the enclosing declaration,
+and the ``.hanoi`` loader must surface positions on
+:class:`SpecFileError`.
+"""
+
+import pytest
+
+from repro.lang.errors import LexError, ParseError, TypeError_
+from repro.lang.parser import parse_program
+from repro.lang.prelude import PRELUDE_SOURCE
+from repro.lang.program import Program
+from repro.spec.errors import SpecFileError
+from repro.spec.loader import load_module_text
+
+SOURCE = """\
+type color = Red | Green
+
+let pick (n : nat) : color =
+  match n with
+  | O -> Red
+  | S m -> Green
+
+let rec spin (n : nat) : nat = spin n
+"""
+
+
+def test_parser_stamps_declaration_lines():
+    decls = parse_program(SOURCE)
+    assert [d.line for d in decls] == [1, 3, 8]
+
+
+def test_parser_stamps_match_lines():
+    decls = parse_program(SOURCE)
+    assert decls[1].body.line == 4
+
+
+def test_lex_and_parse_errors_carry_positions():
+    with pytest.raises(LexError) as exc:
+        parse_program("let f = ???")
+    assert exc.value.line == 1
+    with pytest.raises(ParseError) as exc:
+        parse_program("let f (n : nat) : nat =\n  match n")
+    assert exc.value.line >= 1
+
+
+def test_typechecker_anchors_errors_to_declaration():
+    program = Program()
+    program.extend(PRELUDE_SOURCE)
+    with pytest.raises(TypeError_) as exc:
+        program.extend("\n\nlet bad (n : nat) : nat = True")
+    assert exc.value.line == 3
+    assert "line 3" in str(exc.value)
+    assert exc.value.bare_message  # position-free form for the loader
+
+
+def test_with_line_does_not_overwrite():
+    error = TypeError_("boom", line=7)
+    assert error.with_line(9).line == 7
+    assert TypeError_("boom").with_line(9).line == 9
+
+
+def test_loader_positions_on_type_errors():
+    text = """\
+benchmark "/test/pos"
+group testing
+
+abstract type t = nat
+
+operation zero : t
+
+spec spec : t -> bool
+
+let zero : nat = O
+let spec (c : nat) : bool = True
+let bad (n : nat) : nat = True
+"""
+    with pytest.raises(SpecFileError) as exc:
+        load_module_text(text, path="pos.hanoi")
+    assert exc.value.path == "pos.hanoi"
+    assert exc.value.line == 12
+
+
+def test_loader_positions_on_directive_errors():
+    text = """\
+benchmark "/test/pos"
+group testing
+group again
+
+abstract type t = nat
+
+operation zero : t
+
+spec spec : t -> bool
+
+let zero : nat = O
+let spec (c : nat) : bool = True
+"""
+    with pytest.raises(SpecFileError) as exc:
+        load_module_text(text, path="pos.hanoi")
+    assert exc.value.line == 3
