@@ -28,6 +28,11 @@ def pytest_configure(config):
         "markers",
         "fuzz: property-based generator / differential-fuzzing tests "
         "(deselect with `-m 'not fuzz'`; deep sweeps gate on FUZZ_FULL=1)")
+    config.addinivalue_line(
+        "markers",
+        "absint: abstract-interpretation verifier cross-checks "
+        "(deselect with `-m 'not absint'`; the full differential sweep "
+        "gates on ABSINT_FULL=1)")
 
 
 @pytest.fixture(scope="session")

@@ -184,6 +184,50 @@ def test_analysis_overhead_under_five_percent():
         f"(> 5%): {lint:.4f}s lint vs {infer:.4f}s inference")
 
 
+def test_ladder_backend_discharges_statically_at_no_cost():
+    """The verification ladder must pay for itself: on a quick-profile run
+    it discharges at least one obligation statically (skipping its bounded
+    enumeration), reproduces the enumerative outcome exactly, and the
+    end-to-end time stays within noise of the enumerative backend — the
+    abstract tier's own cost must be covered by the checks it skips."""
+    import time as _time
+
+    from repro.experiments.runner import quick_config, run_module
+    from repro.gen.diff import outcome_fingerprint
+
+    definition = get_benchmark("/coq/unique-list-::-set")
+    enumerative_config = quick_config()
+    ladder_config = enumerative_config.with_verifier_backend("ladder")
+
+    baseline = run_module(definition, mode="hanoi", config=enumerative_config)
+    laddered = run_module(definition, mode="hanoi", config=ladder_config)
+    # Trajectory identity first: same invariant, same iteration count.
+    assert outcome_fingerprint(laddered) == outcome_fingerprint(baseline)
+    assert laddered.stats.static_proofs >= 1
+    assert baseline.stats.static_proofs == 0
+
+    def paired_minimums(repeats=5, calls=1):
+        best_ladder = best_enum = float("inf")
+        for _ in range(repeats):
+            start = _time.perf_counter()
+            for _ in range(calls):
+                run_module(definition, mode="hanoi", config=ladder_config)
+            best_ladder = min(best_ladder, _time.perf_counter() - start)
+            start = _time.perf_counter()
+            for _ in range(calls):
+                run_module(definition, mode="hanoi", config=enumerative_config)
+            best_enum = min(best_enum, _time.perf_counter() - start)
+        return best_ladder, best_enum
+
+    for _ in range(3):
+        ladder, enum = paired_minimums()
+        if ladder <= enum * 1.05:  # measured ~1.02 locally
+            return
+    raise AssertionError(
+        f"the ladder backend no longer breaks even: {ladder:.4f}s laddered "
+        f"vs {enum:.4f}s enumerative (> 5% overhead)")
+
+
 def test_disabled_tracing_overhead_under_two_percent(listset_instance):
     """Zero-cost-when-off guard: components default to the shared disabled
     emitter, whose check is one attribute load and branch before the

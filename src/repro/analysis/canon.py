@@ -72,6 +72,7 @@ __all__ = [
     "canonical_declarations",
     "canonical_hash",
     "canonicalize_definition",
+    "is_pure",
     "render_fun_decl",
 ]
 
@@ -94,6 +95,11 @@ def _pure(expr: Expr) -> bool:
         # Well-typed projection out of a pure tuple value cannot fail.
         return _pure(expr.expr)
     return False
+
+
+#: Public alias: the abstract interpreter uses the same purity facts to skip
+#: its crash/divergence tracking on expressions that cannot need it.
+is_pure = _pure
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,371 @@
+"""Abstract domains for the object language.
+
+Three non-relational domains, combined per type:
+
+* **Intervals** over non-negative integers (Peano naturals): a pair
+  ``[lo, hi]`` with ``hi = None`` meaning unbounded.  Widening jumps an
+  unstable bound to its extreme (``lo`` to 0, ``hi`` to infinity), so every
+  ascending chain stabilizes in at most two steps per bound.
+* **Parity** of naturals: a two-bit set ``{even, odd}``.
+* **Constructor sets with an ADT-size interval** for every other datatype:
+  which head constructors a value may have, plus an interval bounding its
+  :func:`~repro.lang.values.value_size` (booleans are the degenerate case -
+  nullary constructors ``True``/``False`` of size 1).
+
+An abstract value is one of
+
+* :class:`AbsNat` - interval x parity, for values of type ``nat``;
+* :class:`AbsData` - constructor set x size interval, for any other datatype;
+* :class:`AbsTuple` - a product, component-wise;
+* :class:`AbsFun` - an opaque function value (closures are not analyzed
+  through abstract application; see :mod:`repro.analysis.absint`);
+* :data:`ABS_TOP` - the universal top (no information);
+* ``None`` - bottom (unreachable / no value), by module-wide convention.
+
+The concretization of each form is the obvious one; :func:`alpha` abstracts a
+single concrete value exactly, :func:`top_of` gives the top element of a
+type, and :func:`join` / :func:`widen` / :func:`leq` are the lattice
+operations the interpreter's fixpoint uses.  Soundness of the whole tier
+reduces to ``alpha(v) <= join(alpha(v), x)`` and the transfer functions of
+``absint`` preserving membership - the property pinned by
+``tests/analysis/test_absint.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from ..lang.typecheck import TypeEnvironment
+from ..lang.types import TArrow, TData, TProd, Type
+from ..lang.values import VCtor, VTuple, Value
+
+__all__ = [
+    "PARITY_EVEN",
+    "PARITY_ODD",
+    "PARITY_TOP",
+    "Interval",
+    "interval_join",
+    "interval_meet",
+    "interval_widen",
+    "AbsValue",
+    "AbsTop",
+    "ABS_TOP",
+    "AbsNat",
+    "AbsData",
+    "AbsTuple",
+    "AbsFun",
+    "ABS_FUN",
+    "abs_nat",
+    "abs_data",
+    "nat_const",
+    "join",
+    "widen",
+    "leq",
+    "alpha",
+    "top_of",
+    "size_of",
+    "definitely_true",
+    "definitely_false",
+    "NAT",
+]
+
+NAT = "nat"
+
+# Parity is a two-bit set: bit 1 = "may be even", bit 2 = "may be odd".
+PARITY_EVEN = 1
+PARITY_ODD = 2
+PARITY_TOP = PARITY_EVEN | PARITY_ODD
+
+
+def parity_of(n: int) -> int:
+    return PARITY_EVEN if n % 2 == 0 else PARITY_ODD
+
+
+def parity_flip(parity: int) -> int:
+    """The parity set of ``n + 1`` given the parity set of ``n``."""
+    return ((parity & PARITY_EVEN) << 1) | ((parity & PARITY_ODD) >> 1)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-empty interval of non-negative integers; ``hi=None`` = unbounded."""
+
+    lo: int = 0
+    hi: Optional[int] = None
+
+    def contains(self, n: int) -> bool:
+        return self.lo <= n and (self.hi is None or n <= self.hi)
+
+    def shift(self, k: int) -> "Interval":
+        """The interval of ``n + k`` (clamped at 0 for negative ``k``)."""
+        return Interval(max(0, self.lo + k),
+                        None if self.hi is None else max(0, self.hi + k))
+
+    @property
+    def singleton(self) -> Optional[int]:
+        return self.lo if self.hi == self.lo else None
+
+
+def interval_join(a: Interval, b: Interval) -> Interval:
+    return Interval(min(a.lo, b.lo),
+                    None if a.hi is None or b.hi is None else max(a.hi, b.hi))
+
+
+def interval_meet(a: Interval, b: Interval) -> Optional[Interval]:
+    lo = max(a.lo, b.lo)
+    if a.hi is None:
+        hi = b.hi
+    elif b.hi is None:
+        hi = a.hi
+    else:
+        hi = min(a.hi, b.hi)
+    if hi is not None and hi < lo:
+        return None
+    return Interval(lo, hi)
+
+
+def interval_widen(old: Interval, new: Interval) -> Interval:
+    """Standard interval widening: an unstable bound jumps to its extreme.
+
+    ``new`` is the join of the old value with the latest iterate, so each
+    bound either stays put or moves outward; a moved bound is widened away
+    entirely, which bounds every fixpoint iteration to a finite chain.
+    """
+    lo = old.lo if new.lo >= old.lo else 0
+    if old.hi is None or new.hi is None or new.hi > old.hi:
+        hi = old.hi if old.hi is not None and new.hi == old.hi else None
+    else:
+        hi = old.hi
+    return Interval(lo, hi)
+
+
+class AbsValue:
+    """Base class of abstract values (bottom is ``None``, not a subclass)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class AbsTop(AbsValue):
+    """No information: any value of any type."""
+
+
+ABS_TOP = AbsTop()
+
+
+@dataclass(frozen=True)
+class AbsNat(AbsValue):
+    """A Peano natural: value interval x parity set."""
+
+    interval: Interval = Interval()
+    parity: int = PARITY_TOP
+
+
+@dataclass(frozen=True)
+class AbsData(AbsValue):
+    """A non-``nat`` datatype value: head-constructor set x size interval.
+
+    Payloads are not tracked (the domain is non-relational); the size
+    interval bounds :func:`~repro.lang.values.value_size` of the whole value,
+    which is what lets match refinement shrink payload abstractions.
+    """
+
+    datatype: str
+    ctors: FrozenSet[str]
+    size: Interval = Interval(1, None)
+
+
+@dataclass(frozen=True)
+class AbsTuple(AbsValue):
+    items: Tuple[AbsValue, ...]
+
+
+@dataclass(frozen=True)
+class AbsFun(AbsValue):
+    """An opaque function value (closure or partial application)."""
+
+
+ABS_FUN = AbsFun()
+
+
+# -- smart constructors (normalize to bottom) -------------------------------------
+
+
+def abs_nat(interval: Optional[Interval], parity: int = PARITY_TOP) -> Optional[AbsValue]:
+    """An :class:`AbsNat`, or bottom when interval and parity are inconsistent."""
+    if interval is None or parity == 0:
+        return None
+    n = interval.singleton
+    if n is not None:
+        if not parity & parity_of(n):
+            return None
+        parity = parity_of(n)
+    return AbsNat(interval, parity)
+
+
+def nat_const(n: int) -> AbsNat:
+    return AbsNat(Interval(n, n), parity_of(n))
+
+
+def abs_data(datatype: str, ctors: FrozenSet[str],
+             size: Optional[Interval]) -> Optional[AbsValue]:
+    if not ctors or size is None:
+        return None
+    return AbsData(datatype, ctors, size)
+
+
+# -- lattice operations -----------------------------------------------------------
+
+
+def join(a: Optional[AbsValue], b: Optional[AbsValue]) -> Optional[AbsValue]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if isinstance(a, AbsTop) or isinstance(b, AbsTop):
+        return ABS_TOP
+    if isinstance(a, AbsNat) and isinstance(b, AbsNat):
+        return AbsNat(interval_join(a.interval, b.interval), a.parity | b.parity)
+    if isinstance(a, AbsData) and isinstance(b, AbsData) and a.datatype == b.datatype:
+        return AbsData(a.datatype, a.ctors | b.ctors, interval_join(a.size, b.size))
+    if (isinstance(a, AbsTuple) and isinstance(b, AbsTuple)
+            and len(a.items) == len(b.items)):
+        return AbsTuple(tuple(join(x, y) for x, y in zip(a.items, b.items)))
+    if isinstance(a, AbsFun) and isinstance(b, AbsFun):
+        return ABS_FUN
+    # Mismatched shapes cannot arise from well-typed code; losing all
+    # information is the sound answer either way.
+    return ABS_TOP
+
+
+def widen(old: Optional[AbsValue], new: Optional[AbsValue]) -> Optional[AbsValue]:
+    """Widen ``old`` by ``new`` (callers pass ``new = join(old, latest)``)."""
+    if old is None or new is None:
+        return new if old is None else old
+    if isinstance(old, AbsNat) and isinstance(new, AbsNat):
+        return AbsNat(interval_widen(old.interval, new.interval), new.parity)
+    if isinstance(old, AbsData) and isinstance(new, AbsData) \
+            and old.datatype == new.datatype:
+        return AbsData(new.datatype, new.ctors,
+                       interval_widen(old.size, new.size))
+    if (isinstance(old, AbsTuple) and isinstance(new, AbsTuple)
+            and len(old.items) == len(new.items)):
+        return AbsTuple(tuple(widen(x, y)
+                              for x, y in zip(old.items, new.items)))
+    return new if leq(old, new) else ABS_TOP
+
+
+def leq(a: Optional[AbsValue], b: Optional[AbsValue]) -> bool:
+    """``a`` is at most ``b`` (every concretization of ``a`` is in ``b``)."""
+    if a is None:
+        return True
+    if b is None:
+        return False
+    if isinstance(b, AbsTop):
+        return True
+    if isinstance(a, AbsTop):
+        return False
+    if isinstance(a, AbsNat) and isinstance(b, AbsNat):
+        return (b.interval.lo <= a.interval.lo
+                and (b.interval.hi is None
+                     or (a.interval.hi is not None and a.interval.hi <= b.interval.hi))
+                and (a.parity | b.parity) == b.parity)
+    if isinstance(a, AbsData) and isinstance(b, AbsData):
+        return (a.datatype == b.datatype
+                and a.ctors <= b.ctors
+                and b.size.lo <= a.size.lo
+                and (b.size.hi is None
+                     or (a.size.hi is not None and a.size.hi <= b.size.hi)))
+    if isinstance(a, AbsTuple) and isinstance(b, AbsTuple):
+        return (len(a.items) == len(b.items)
+                and all(leq(x, y) for x, y in zip(a.items, b.items)))
+    if isinstance(a, AbsFun) and isinstance(b, AbsFun):
+        return True
+    return False
+
+
+# -- abstraction / type tops ------------------------------------------------------
+
+
+def _nat_value(value: Value) -> Optional[int]:
+    """The integer behind an ``O``/``S`` chain, or None for non-nat values."""
+    n = 0
+    while isinstance(value, VCtor) and value.ctor == "S":
+        n += 1
+        value = value.payload
+    if isinstance(value, VCtor) and value.ctor == "O" and value.payload is None:
+        return n
+    return None
+
+
+def _concrete_size(value: Value) -> int:
+    if isinstance(value, VCtor):
+        return 1 + (_concrete_size(value.payload) if value.payload is not None else 0)
+    if isinstance(value, VTuple):
+        return 1 + sum(_concrete_size(v) for v in value.items)
+    return 1
+
+
+def alpha(value: Value, env: TypeEnvironment) -> AbsValue:
+    """The exact abstraction of one concrete value."""
+    if isinstance(value, VCtor):
+        info = env.ctors.get(value.ctor)
+        if info is not None and info.datatype == NAT:
+            n = _nat_value(value)
+            if n is not None:
+                return nat_const(n)
+            return AbsNat()  # a malformed chain cannot arise from eval
+        size = _concrete_size(value)
+        datatype = info.datatype if info is not None else "?"
+        return AbsData(datatype, frozenset((value.ctor,)), Interval(size, size))
+    if isinstance(value, VTuple):
+        return AbsTuple(tuple(alpha(v, env) for v in value.items))
+    return ABS_FUN
+
+
+def top_of(ty: Type, env: TypeEnvironment) -> AbsValue:
+    """The top abstract value of one object-language type."""
+    if isinstance(ty, TData):
+        if ty.name == NAT:
+            return AbsNat()
+        decl = env.datatypes.get(ty.name)
+        if decl is None:
+            return ABS_TOP
+        return AbsData(ty.name,
+                       frozenset(c.name for c in decl.ctors),
+                       Interval(1, None))
+    if isinstance(ty, TProd):
+        return AbsTuple(tuple(top_of(item, env) for item in ty.items))
+    if isinstance(ty, TArrow):
+        return ABS_FUN
+    return ABS_TOP  # TAbstract or anything unforeseen
+
+
+def size_of(abs_value: AbsValue) -> Interval:
+    """An interval bounding :func:`~repro.lang.values.value_size`."""
+    if isinstance(abs_value, AbsNat):
+        return abs_value.interval.shift(1)
+    if isinstance(abs_value, AbsData):
+        return abs_value.size
+    if isinstance(abs_value, AbsTuple):
+        sizes = [size_of(item) for item in abs_value.items]
+        lo = 1 + sum(s.lo for s in sizes)
+        hi = None if any(s.hi is None for s in sizes) else 1 + sum(s.hi for s in sizes)
+        return Interval(lo, hi)
+    if isinstance(abs_value, AbsFun):
+        return Interval(1, 1)
+    return Interval(1, None)
+
+
+# -- boolean verdicts -------------------------------------------------------------
+
+
+def definitely_true(abs_value: Optional[AbsValue]) -> bool:
+    return (isinstance(abs_value, AbsData)
+            and abs_value.ctors == frozenset(("True",)))
+
+
+def definitely_false(abs_value: Optional[AbsValue]) -> bool:
+    return (isinstance(abs_value, AbsData)
+            and abs_value.ctors == frozenset(("False",)))

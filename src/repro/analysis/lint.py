@@ -7,6 +7,8 @@ checks the module source, then runs:
 * match exhaustiveness / unreachable branches (HAN001, HAN002),
 * call-graph reachability and structural recursion (HAN003, HAN004),
 * component-usefulness reachability for the synthesis goal (HAN005),
+* abstract interpretation of each operation against the expected-invariant
+  oracle, when the definition carries one (HAN006),
 * the canonicalizing passes, whose alpha-normalized hash is reported as
   the module's ``content_hash`` (the cache content key).
 
@@ -29,6 +31,7 @@ from ..lang.program import Program
 from ..lang.typecheck import TypeChecker
 from ..lang.types import TArrow, TData, Type
 from ..obs import NULL_EMITTER
+from .absint import REFUTED, AbstractChecker
 from .callgraph import scan_module_declarations
 from .canon import canonical_hash
 from .diagnostics import Diagnostic, WARNING, worst_severity
@@ -175,10 +178,69 @@ def analyze_definition(definition: ModuleDefinition, path: str = "<module>",
                     line=decl_lines.get(component.name),
                     decl=component.name))
 
+        with emitter.span("analysis-absint", cat="analysis"):
+            diagnostics.extend(_static_violations(definition, program, decls))
+
         with emitter.span("analysis-canon", cat="analysis"):
             content_hash = canonical_hash(definition, program, decls)
 
     return _report(definition, path, diagnostics, content_hash, pruned)
+
+
+@dataclass(frozen=True)
+class _InstanceView:
+    """The slice of :class:`~repro.core.module.ModuleInstance` the abstract
+    checker reads, over the analyzer's already-loaded program (lint never
+    instantiates the module)."""
+
+    program: Program
+    definition: ModuleDefinition
+
+    @property
+    def operations(self):
+        return self.definition.operations
+
+    @property
+    def concrete_type(self):
+        return self.definition.concrete_type
+
+
+def _static_violations(definition: ModuleDefinition, program: Program,
+                       decls: List[object]) -> List[Diagnostic]:
+    """HAN006: operations the abstract interpreter proves cannot preserve
+    the expected-invariant oracle (every completing application - on *any*
+    arguments - produces a value the invariant rejects)."""
+    if not definition.expected_invariant:
+        return []
+    try:
+        oracle_decls = [d for d in parse_program(definition.expected_invariant)
+                        if isinstance(d, FunDecl)]
+    except LangError:
+        return []
+    if not oracle_decls:
+        return []
+    findings: List[Diagnostic] = []
+    try:
+        checker = AbstractChecker(_InstanceView(program, definition),
+                                  extra_decls=oracle_decls)
+        abstract_top = checker.abstract_input(None)
+        decl_lines = {d.name: d.line for d in decls if isinstance(d, FunDecl)}
+        for operation in definition.operations:
+            verdict = checker.operation_verdict(
+                operation, oracle_decls[-1], abstract_top)
+            if verdict == REFUTED:
+                findings.append(Diagnostic(
+                    "HAN006",
+                    f"operation {operation.name!r} statically proven to "
+                    f"violate the expected invariant: every completing "
+                    f"application produces a value the invariant rejects",
+                    line=decl_lines.get(operation.name),
+                    decl=operation.name))
+    except Exception:
+        # The static tier is advisory here; a failure inside it must never
+        # break linting (the verifier-diff harness covers its soundness).
+        pass
+    return findings
 
 
 def _report(definition: ModuleDefinition, path: str,

@@ -39,15 +39,23 @@ Nine subcommands drive the reproduction:
     cross-check that per-mode outcomes are identical across cache
     configurations and that inferred invariants imply the ground truth.
     Mismatching modules are shrunk to minimal ``.hanoi`` reproducers (see
-    docs/fuzzing.md).
+    docs/fuzzing.md).  ``--check-verifier`` additionally cross-checks the
+    abstract proof tier against the bounded tester on every module
+    (docs/verification.md).
+
+The ``run``, ``infer``, ``figure8``, and ``fuzz`` subcommands accept
+``--verifier {enumerative,abstract,ladder}`` to select the verification
+backend of the Hanoi loop (docs/verification.md).
 
 ``lint``
     Run the static analyzer over ``.hanoi`` module files (or registered
     benchmarks): match exhaustiveness, unreachable branches, unused
-    definitions, unprovable termination, and unusable synthesis components,
-    each with a stable ``HAN0xx`` code and a source-line anchor (see
-    docs/analysis.md).  Exits non-zero when any module has findings at
-    warning severity or above.
+    definitions, unprovable termination, unusable synthesis components, and
+    statically disproven invariants, each with a stable ``HAN0xx`` code and
+    a source-line anchor (see docs/analysis.md).  ``--format json`` emits
+    one JSON object per finding.  Exit codes: 0 = clean (warnings without
+    ``--werror`` included), 1 = warnings promoted by ``--werror``,
+    2 = errors.
 
 ``trace``
     Analyze a JSONL trace written with ``--trace``: per-phase time breakdown,
@@ -66,6 +74,8 @@ Examples::
     python -m repro run --pack my-modules/ --output pack-results.jsonl
     python -m repro run --trace trace.jsonl --live
     python -m repro infer examples/modules/bounded-stack.hanoi
+    python -m repro run --verifier ladder --profile quick
+    python -m repro lint examples/modules/ --format json --werror
     python -m repro export --out exported/
     python -m repro report results.jsonl --csv results.csv
     python -m repro list --group coq --fast
@@ -80,6 +90,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from contextlib import contextmanager
@@ -117,6 +128,7 @@ from .suite.registry import (
     PAPER_RESULTS,
     all_benchmark_names,
 )
+from .verify.backend import BACKEND_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -186,6 +198,14 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser, default_output: str) -
                         help="disable cross-iteration synthesis term-pool "
                              "caching (the ablation; candidate streams are "
                              "identical, synthesis-heavy runs are slower)")
+    parser.add_argument("--verifier", choices=BACKEND_NAMES,
+                        default="enumerative",
+                        help="verification backend for Hanoi-loop modes: the "
+                             "paper's bounded enumerative tester (default), "
+                             "the static abstract-interpretation tier alone "
+                             "(unsound diagnostic mode), or the ladder "
+                             "(abstract proofs first, enumeration for the "
+                             "rest; see docs/verification.md)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: all CPUs; 1 = serial in-process)")
     parser.add_argument("--output", default=default_output, metavar="PATH",
@@ -239,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable cross-iteration verification evaluation caching")
     infer.add_argument("--no-pool-cache", action="store_true",
                        help="disable cross-iteration synthesis term-pool caching")
+    infer.add_argument("--verifier", choices=BACKEND_NAMES,
+                       default="enumerative",
+                       help="verification backend (default: enumerative; "
+                            "see docs/verification.md)")
     _add_trace_arguments(infer)
     infer.set_defaults(func=_cmd_infer)
 
@@ -296,6 +320,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "differential sweep: generated modules must be "
                            "lint-clean; dirty ones are shrunk to minimal "
                            ".hanoi reproducers")
+    fuzz.add_argument("--verifier", choices=BACKEND_NAMES,
+                      default="enumerative",
+                      help="verification backend for the sweep's Hanoi-loop "
+                           "modes (default: enumerative)")
+    fuzz.add_argument("--check-verifier", action="store_true",
+                      help="additionally cross-check the abstract proof tier "
+                           "on every module: ladder outcomes must equal "
+                           "enumerative ones, and no statically proven "
+                           "obligation may admit an enumerated "
+                           "counterexample (docs/verification.md)")
     fuzz.add_argument("--profile", choices=sorted(PROFILES), default="quick",
                       help="verifier bounds / timeout profile (default: quick)")
     fuzz.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
@@ -322,6 +356,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--hash", action="store_true",
                       help="also print each module's canonical content hash "
                            "(the evaluation/pool cache content key)")
+    lint.add_argument("--format", choices=("human", "json"), default="human",
+                      help="output format: the human path:line renderer "
+                           "(default) or one JSON object per finding "
+                           "(path, line, code, severity, decl, message)")
+    lint.add_argument("--werror", action="store_true",
+                      help="exit 1 when any module has warning-severity "
+                           "findings (errors always exit 2)")
     _add_trace_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
 
@@ -392,6 +433,7 @@ def _run_sweep(args: argparse.Namespace, modes: Sequence[str]) -> List[Inference
         config = config.without_evaluation_caching()
     if args.no_pool_cache:
         config = config.without_synthesis_evaluation_caching()
+    config = config.with_verifier_backend(args.verifier)
     tasks = expand_tasks(names, modes=list(modes), config=config,
                          pack=pack.path if pack is not None else None,
                          pack_benchmarks=pack.benchmark_names if pack is not None else None,
@@ -515,6 +557,7 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         config = config.without_evaluation_caching()
     if args.no_pool_cache:
         config = config.without_synthesis_evaluation_caching()
+    config = config.with_verifier_backend(args.verifier)
     operations = ", ".join(op.name for op in definition.operations)
     print(f"loaded {definition.name} ({definition.group}): "
           f"{len(definition.operations)} operation(s): {operations}")
@@ -631,33 +674,60 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         raise SystemExit("nothing to lint: give PATHs, --benchmark NAME, "
                          "or --all-builtins")
 
-    clean = dirty = 0
+    counts = {"clean": 0, "warned": 0, "errored": 0}
     for path in paths:
         try:
             report = analyze_file(path, emitter=emitter_for_run(f"lint/{path}"))
         except SpecFileError as exc:
-            print(f"{exc.path}:{exc.line or 1}: HAN000 error: {exc.reason}")
-            dirty += 1
+            if args.format == "json":
+                print(json.dumps({"path": exc.path, "line": exc.line or 1,
+                                  "code": "HAN000", "severity": "error",
+                                  "decl": None, "message": exc.reason},
+                                 sort_keys=True))
+            else:
+                print(f"{exc.path}:{exc.line or 1}: HAN000 error: {exc.reason}")
+            counts["errored"] += 1
             continue
-        clean, dirty = _print_lint_report(report, args.hash, clean, dirty)
+        _print_lint_report(report, args, counts)
     for name in names:
         report = analyze_definition(get_benchmark(name), path=name,
                                     emitter=emitter_for_run(f"lint/{name}"))
-        clean, dirty = _print_lint_report(report, args.hash, clean, dirty)
+        _print_lint_report(report, args, counts)
 
-    total = clean + dirty
-    print(f"linted {total} module(s): {clean} clean, {dirty} with warnings")
-    return 1 if dirty else 0
+    total = sum(counts.values())
+    if args.format != "json":
+        print(f"linted {total} module(s): {counts['clean']} clean, "
+              f"{counts['warned']} with warnings, "
+              f"{counts['errored']} with errors")
+    # The exit-code contract (docs/analysis.md): 0 = clean (or warnings
+    # without --werror), 1 = warnings promoted by --werror, 2 = errors.
+    if counts["errored"]:
+        return 2
+    if counts["warned"] and args.werror:
+        return 1
+    return 0
 
 
-def _print_lint_report(report, show_hash: bool, clean: int, dirty: int):
+def _print_lint_report(report, args: argparse.Namespace, counts) -> None:
     for diagnostic in report.diagnostics:
-        print(diagnostic.render())
-    if report.ok:
-        suffix = f"  [{report.content_hash[:12]}]" if show_hash else ""
-        print(f"{report.path}: ok{suffix}")
-        return clean + 1, dirty
-    return clean, dirty + 1
+        if args.format == "json":
+            print(json.dumps({"path": diagnostic.path, "line": diagnostic.line,
+                              "code": diagnostic.code,
+                              "severity": diagnostic.severity,
+                              "decl": diagnostic.decl,
+                              "message": diagnostic.message}, sort_keys=True))
+        else:
+            print(diagnostic.render())
+    worst = report.worst
+    if worst == "error":
+        counts["errored"] += 1
+    elif worst == "warning":
+        counts["warned"] += 1
+    else:
+        if args.format != "json":
+            suffix = f"  [{report.content_hash[:12]}]" if args.hash else ""
+            print(f"{report.path}: ok{suffix}")
+        counts["clean"] += 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -684,6 +754,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     profile = PROFILES[args.profile]
     config = profile() if args.timeout is None else profile(args.timeout)
+    config = config.with_verifier_backend(args.verifier)
     tasks = [ExperimentTask(benchmark=name, mode=mode,
                             config=variant_config(config, variant),
                             pack=pack.path, pack_name=pack.name, variant=variant)
@@ -723,6 +794,19 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                in sweep_keys]
     report = compare_stored(results, definitions, modes=modes,
                             check_oracle=not args.no_oracle, config=config)
+    if args.check_verifier:
+        from .gen.diff import (verifier_backend_mismatches,
+                               verifier_soundness_mismatches)
+
+        print("cross-checking the abstract proof tier "
+              f"({len(definitions)} module(s)) ...")
+        for definition in definitions.values():
+            backend = verifier_backend_mismatches(definition, modes=modes,
+                                                  config=config)
+            report.mismatches.extend(backend)
+            report.runs += 2 * sum(1 for m in modes if m.startswith("hanoi"))
+            report.mismatches.extend(
+                verifier_soundness_mismatches(definition, config=config))
     print()
     print(report.summary())
     for failure in report.oracle_failures:

@@ -167,9 +167,19 @@ class HanoiConfig:
     max_iterations: int = 400
     #: Evaluation fuel for a single object-language run.
     eval_fuel: int = 500_000
+    #: Which verification ladder rungs answer the loop's obligations:
+    #: ``enumerative`` (the paper's bounded tester, the default),
+    #: ``abstract`` (static tier only; unsound diagnostic mode), or
+    #: ``ladder`` (abstract proofs first, enumeration for the rest).
+    #: See docs/verification.md.
+    verifier_backend: str = "enumerative"
 
     def deadline(self) -> Deadline:
         return Deadline(self.timeout_seconds)
+
+    def with_verifier_backend(self, name: str) -> "HanoiConfig":
+        """Select a verifier backend (CLI ``--verifier``)."""
+        return replace(self, verifier_backend=name)
 
     def without_synthesis_result_caching(self) -> "HanoiConfig":
         """The Hanoi-SRC ablation configuration."""

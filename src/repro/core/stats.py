@@ -59,6 +59,16 @@ class InferenceStats:
     candidates_proposed: int = 0
     #: Values evaluated by the enumerative verifier.
     structures_tested: int = 0
+    #: Obligations the static tier discharged without enumeration (abstract
+    #: interpretation proved no counterexample exists; 0 under the
+    #: enumerative backend).
+    static_proofs: int = 0
+    #: Obligations the static tier refuted, confirmed by a concrete
+    #: counterexample on the enumerative rung.
+    static_refutations: int = 0
+    #: Obligations the static tier could not decide (fell through to
+    #: bounded enumeration).
+    static_unknowns: int = 0
     started_at: float = field(default_factory=time.perf_counter)
     finished_at: Optional[float] = None
 
@@ -132,6 +142,9 @@ class InferenceStats:
             "negatives_added": self.negatives_added,
             "candidates_proposed": self.candidates_proposed,
             "structures_tested": self.structures_tested,
+            "static_proofs": self.static_proofs,
+            "static_refutations": self.static_refutations,
+            "static_unknowns": self.static_unknowns,
         }
 
     # -- serialization ----------------------------------------------------------
@@ -153,6 +166,9 @@ class InferenceStats:
         "negatives_added",
         "candidates_proposed",
         "structures_tested",
+        "static_proofs",
+        "static_refutations",
+        "static_unknowns",
     )
 
     #: The deterministic subset of :data:`COUNTER_FIELDS` - integer counters

@@ -74,7 +74,8 @@ class ConditionalInductivenessChecker:
     # -- public API -------------------------------------------------------------
 
     def check(self, p: PredicateFn, q: PredicateFn,
-              p_pool: Optional[Iterable[Value]] = None) -> CheckResult:
+              p_pool: Optional[Iterable[Value]] = None,
+              operations: Optional[Tuple[Operation, ...]] = None) -> CheckResult:
         """Check conditional inductiveness of the module with respect to
         properties ``P`` and ``Q``.
 
@@ -82,18 +83,22 @@ class ConditionalInductivenessChecker:
         assumed to satisfy ``P`` (the visible-inductiveness case passes V+);
         when omitted, the checker enumerates concrete values and filters them
         through ``p`` (the full-inductiveness case).
+
+        ``operations`` optionally restricts the check to a subsequence of the
+        module's operations, in their interface order; the verification
+        ladder passes the operations its static tier could not discharge.
         """
         emitter = self.emitter
         if not emitter.enabled:
             with self.stats.verification():
-                return self._check(p, q, p_pool)
+                return self._check(p, q, p_pool, operations)
         hits_before = self.stats.eval_cache_hits
         misses_before = self.stats.eval_cache_misses
         try:
             with emitter.span("inductiveness-check",
                               {"mode": "visible" if p_pool is not None else "full"}):
                 with self.stats.verification():
-                    return self._check(p, q, p_pool)
+                    return self._check(p, q, p_pool, operations)
         finally:
             # Emitted even when the deadline fires mid-check, so the
             # analyzer's cross-check against run-end counters stays exact.
@@ -104,9 +109,12 @@ class ConditionalInductivenessChecker:
                              cat="cache")
 
     def _check(self, p: PredicateFn, q: PredicateFn,
-               p_pool: Optional[Iterable[Value]]) -> CheckResult:
+               p_pool: Optional[Iterable[Value]],
+               operations: Optional[Tuple[Operation, ...]] = None) -> CheckResult:
         pool = self._abstract_pool(p, p_pool)
-        for operation in self.instance.operations:
+        if operations is None:
+            operations = self.instance.operations
+        for operation in operations:
             result = self._check_operation(operation, pool, p, q)
             if not isinstance(result, type(VALID)):
                 return result

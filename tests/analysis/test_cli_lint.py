@@ -45,13 +45,52 @@ def test_lint_clean_file_exits_zero(tmp_path, capsys):
     assert "1 clean, 0 with warnings" in out
 
 
-def test_lint_dirty_file_exits_nonzero(tmp_path, capsys):
+def test_lint_dirty_file_warns_but_exits_zero(tmp_path, capsys):
     path = _write(tmp_path, "dirty.hanoi", DIRTY)
-    assert main(["lint", path]) == 1
+    assert main(["lint", path]) == 0
     out = capsys.readouterr().out
     assert "HAN003" in out
     assert "orphan" in out
     assert "1 with warnings" in out
+
+
+def test_lint_werror_promotes_warnings_to_exit_one(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.hanoi", DIRTY)
+    assert main(["lint", path, "--werror"]) == 1
+    assert "HAN003" in capsys.readouterr().out
+
+
+def test_lint_werror_leaves_clean_modules_at_zero(tmp_path):
+    path = _write(tmp_path, "clean.hanoi", CLEAN)
+    assert main(["lint", path, "--werror"]) == 0
+
+
+def test_lint_json_format_one_object_per_finding(tmp_path, capsys):
+    import json
+
+    clean = _write(tmp_path, "clean.hanoi", CLEAN)
+    dirty = _write(tmp_path, "dirty.hanoi", DIRTY)
+    assert main(["lint", clean, dirty, "--format", "json"]) == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    findings = [json.loads(line) for line in lines]
+    assert len(findings) == 1  # json mode prints findings only, no summary
+    finding = findings[0]
+    assert finding["code"] == "HAN003"
+    assert finding["severity"] == "warning"
+    assert finding["decl"] == "orphan"
+    assert finding["path"].endswith("dirty.hanoi")
+    assert isinstance(finding["line"], int)
+    assert "orphan" in finding["message"]
+
+
+def test_lint_json_format_reports_load_errors(tmp_path, capsys):
+    import json
+
+    path = _write(tmp_path, "broken.hanoi", "benchmark \"/x\"\nlet bad = ???")
+    assert main(["lint", path, "--format", "json"]) == 2
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    codes = {json.loads(line)["code"] for line in lines}
+    assert "HAN000" in codes
 
 
 def test_lint_hash_flag_prints_content_key(tmp_path, capsys):
@@ -64,7 +103,7 @@ def test_lint_hash_flag_prints_content_key(tmp_path, capsys):
 def test_lint_directory_expansion(tmp_path, capsys):
     _write(tmp_path, "a.hanoi", CLEAN)
     _write(tmp_path, "b.hanoi", DIRTY)
-    assert main(["lint", str(tmp_path)]) == 1
+    assert main(["lint", str(tmp_path), "--werror"]) == 1
     assert "linted 2 module(s)" in capsys.readouterr().out
 
 
@@ -89,9 +128,9 @@ def test_lint_missing_path_fails(tmp_path):
         main(["lint", str(tmp_path / "nope.hanoi")])
 
 
-def test_lint_malformed_module_is_han000(tmp_path, capsys):
+def test_lint_malformed_module_is_han000_exit_two(tmp_path, capsys):
     path = _write(tmp_path, "broken.hanoi", "benchmark \"/x\"\nlet bad = ???")
-    assert main(["lint", path]) == 1
+    assert main(["lint", path]) == 2
     assert "HAN000" in capsys.readouterr().out
 
 

@@ -1,0 +1,229 @@
+"""Lattice unit and property tests for the abstract domains.
+
+The soundness of the whole static tier reduces to two facts (see
+``src/repro/analysis/domains.py``): ``alpha`` abstracts a concrete value
+exactly, and ``join``/``widen`` only ever move up the lattice.  Membership
+of a concrete value ``v`` in an abstract value ``a`` is expressed as
+``leq(alpha(v), a)`` throughout, since ``alpha`` is exact.
+"""
+
+import random
+
+from repro.analysis.domains import (
+    ABS_FUN,
+    ABS_TOP,
+    AbsData,
+    AbsNat,
+    AbsTuple,
+    Interval,
+    NAT,
+    PARITY_EVEN,
+    PARITY_ODD,
+    PARITY_TOP,
+    abs_data,
+    abs_nat,
+    alpha,
+    definitely_false,
+    definitely_true,
+    interval_join,
+    interval_meet,
+    interval_widen,
+    join,
+    leq,
+    nat_const,
+    size_of,
+    top_of,
+    widen,
+)
+from repro.analysis.domains import parity_flip, parity_of
+from repro.lang.prelude import PRELUDE_SOURCE
+from repro.lang.program import Program
+from repro.lang.types import TData, TProd
+from repro.lang.values import nat_of_int, v_bool, v_list, value_size
+
+
+def _env():
+    program = Program()
+    program.extend(PRELUDE_SOURCE)
+    return program.types
+
+
+ENV = _env()
+
+LIST = TData("list")
+BOOL = TData("bool")
+NAT_T = TData(NAT)
+
+
+def _random_interval(rng):
+    lo = rng.randrange(0, 6)
+    hi = rng.choice([None, lo + rng.randrange(0, 6)])
+    return Interval(lo, hi)
+
+
+def _random_values(rng, count=40):
+    values = [nat_of_int(rng.randrange(0, 12)) for _ in range(count // 2)]
+    values += [v_list([nat_of_int(rng.randrange(0, 4))
+                       for _ in range(rng.randrange(0, 5))])
+               for _ in range(count - len(values))]
+    return values
+
+
+# -- intervals --------------------------------------------------------------------
+
+
+def test_interval_contains_and_shift():
+    iv = Interval(2, 5)
+    assert iv.contains(2) and iv.contains(5) and not iv.contains(6)
+    assert iv.shift(1) == Interval(3, 6)
+    assert Interval(0, 1).shift(-2) == Interval(0, 0)
+    assert Interval(3, None).shift(-1) == Interval(2, None)
+    assert Interval(4, 4).singleton == 4
+    assert Interval(4, 5).singleton is None
+
+
+def test_interval_join_is_upper_bound():
+    rng = random.Random(0)
+    for _ in range(200):
+        a, b = _random_interval(rng), _random_interval(rng)
+        joined = interval_join(a, b)
+        for n in range(0, 15):
+            if a.contains(n) or b.contains(n):
+                assert joined.contains(n)
+
+
+def test_interval_meet_is_intersection():
+    rng = random.Random(1)
+    for _ in range(200):
+        a, b = _random_interval(rng), _random_interval(rng)
+        met = interval_meet(a, b)
+        for n in range(0, 15):
+            both = a.contains(n) and b.contains(n)
+            assert both == (met is not None and met.contains(n))
+
+
+def test_interval_widen_covers_new_and_terminates():
+    rng = random.Random(2)
+    for _ in range(200):
+        old = _random_interval(rng)
+        new = interval_join(old, _random_interval(rng))
+        widened = interval_widen(old, new)
+        for n in range(0, 15):
+            if new.contains(n):
+                assert widened.contains(n)
+        # Each bound jumps to its extreme at most once, so any widening
+        # chain changes at most twice, however the iterates arrive.
+        current, changes = widened, 0
+        for _ in range(10):
+            nxt = interval_widen(
+                current, interval_join(current, _random_interval(rng)))
+            if nxt != current:
+                changes += 1
+            current = nxt
+        assert changes <= 2
+
+
+# -- smart constructors -----------------------------------------------------------
+
+
+def test_abs_nat_normalizes_inconsistency_to_bottom():
+    assert abs_nat(None) is None
+    assert abs_nat(Interval(2, 2), PARITY_ODD) is None
+    assert abs_nat(Interval(2, 2), 0) is None
+    # A singleton refines the parity set to the exact parity.
+    assert abs_nat(Interval(2, 2), PARITY_TOP) == AbsNat(Interval(2, 2), PARITY_EVEN)
+
+
+def test_abs_data_normalizes_inconsistency_to_bottom():
+    assert abs_data("list", frozenset(), Interval(1, None)) is None
+    assert abs_data("list", frozenset(("Nil",)), None) is None
+    assert abs_data("list", frozenset(("Nil",)), Interval(1, 1)) == \
+        AbsData("list", frozenset(("Nil",)), Interval(1, 1))
+
+
+def test_nat_const_is_exact():
+    assert nat_const(3) == AbsNat(Interval(3, 3), PARITY_ODD)
+    assert nat_const(0) == AbsNat(Interval(0, 0), PARITY_EVEN)
+
+
+def test_parity_flip_tracks_successor():
+    for n in range(10):
+        assert parity_flip(parity_of(n)) == parity_of(n + 1)
+    assert parity_flip(PARITY_TOP) == PARITY_TOP
+
+
+# -- lattice laws over random values ----------------------------------------------
+
+
+def test_leq_is_reflexive_on_abstractions():
+    rng = random.Random(3)
+    for value in _random_values(rng):
+        a = alpha(value, ENV)
+        assert leq(a, a)
+    assert leq(None, None) and leq(None, ABS_TOP) and not leq(ABS_TOP, None)
+
+
+def test_join_is_an_upper_bound_of_abstractions():
+    rng = random.Random(4)
+    values = _random_values(rng)
+    for left in values[:20]:
+        for right in values[20:]:
+            joined = join(alpha(left, ENV), alpha(right, ENV))
+            assert leq(alpha(left, ENV), joined)
+            assert leq(alpha(right, ENV), joined)
+
+
+def test_widen_is_an_upper_bound_of_its_join_argument():
+    rng = random.Random(5)
+    values = _random_values(rng)
+    for left in values[:20]:
+        for right in values[20:]:
+            old = alpha(left, ENV)
+            new = join(old, alpha(right, ENV))
+            widened = widen(old, new)
+            assert leq(new, widened)
+
+
+def test_join_with_bottom_and_top():
+    a = alpha(nat_of_int(2), ENV)
+    assert join(None, a) == a
+    assert join(a, None) == a
+    assert join(a, ABS_TOP) is ABS_TOP
+    # Mismatched shapes lose all information, soundly.
+    assert join(a, ABS_FUN) is ABS_TOP
+
+
+# -- abstraction and type tops ----------------------------------------------------
+
+
+def test_alpha_is_below_the_type_top():
+    rng = random.Random(6)
+    for value in _random_values(rng):
+        is_nat = value_size(value) >= 1 and alpha(value, ENV).__class__ is AbsNat
+        ty = NAT_T if is_nat else LIST
+        assert leq(alpha(value, ENV), top_of(ty, ENV))
+
+
+def test_top_of_products_and_unknowns():
+    top = top_of(TProd((NAT_T, BOOL)), ENV)
+    assert isinstance(top, AbsTuple) and len(top.items) == 2
+    assert top_of(TData("no-such-type"), ENV) is ABS_TOP
+
+
+def test_size_of_bounds_concrete_value_size():
+    rng = random.Random(7)
+    for value in _random_values(rng):
+        assert size_of(alpha(value, ENV)).contains(value_size(value))
+
+
+# -- boolean verdicts -------------------------------------------------------------
+
+
+def test_definitely_true_false_need_singleton_ctor_sets():
+    t = alpha(v_bool(True), ENV)
+    f = alpha(v_bool(False), ENV)
+    assert definitely_true(t) and not definitely_false(t)
+    assert definitely_false(f) and not definitely_true(f)
+    either = join(t, f)
+    assert not definitely_true(either) and not definitely_false(either)
+    assert not definitely_true(None) and not definitely_true(ABS_TOP)
