@@ -277,3 +277,100 @@ def test_disabled_tracing_overhead_under_two_percent(listset_instance):
         f"disabled tracing costs {(with_obs / without_obs - 1):.1%} "
         f"(> 2%) on a full inductiveness check: {with_obs:.4f}s vs "
         f"{without_obs:.4f}s")
+
+
+def test_warm_persistent_cache_beats_cold_by_integer_factor(tmp_path):
+    """The persistent tier's reason to exist: a warm-started run (all
+    sections replayed from the content-addressed disk store) must finish at
+    least 2x faster than a cold run that has to enumerate, verify, and
+    write everything itself — with a byte-identical outcome."""
+    import shutil
+    import time as _time
+
+    from repro.experiments.runner import quick_config, run_module
+    from repro.gen.diff import outcome_fingerprint
+
+    definition = get_benchmark("/coq/unique-list-::-set")
+    base = quick_config()
+    run_module(definition, mode="hanoi", config=base)  # warm the process
+
+    warm_dir = tmp_path / "warm-store"
+    warm_config = base.with_cache_dir(str(warm_dir))
+    cold_result = run_module(definition, mode="hanoi", config=warm_config)
+    warm_result = run_module(definition, mode="hanoi", config=warm_config)
+    assert outcome_fingerprint(warm_result) == outcome_fingerprint(cold_result)
+    assert warm_result.stats.disk_cache_hits > 0
+    assert warm_result.stats.disk_cache_misses == 0
+
+    def paired_minimums(repeats=3):
+        best_cold = best_warm = float("inf")
+        for index in range(repeats):
+            cold_dir = tmp_path / f"cold-store-{index}"
+            start = _time.perf_counter()
+            run_module(definition, mode="hanoi",
+                       config=base.with_cache_dir(str(cold_dir)))
+            best_cold = min(best_cold, _time.perf_counter() - start)
+            shutil.rmtree(cold_dir)
+            start = _time.perf_counter()
+            run_module(definition, mode="hanoi", config=warm_config)
+            best_warm = min(best_warm, _time.perf_counter() - start)
+        return best_cold, best_warm
+
+    for _ in range(3):
+        cold, warm = paired_minimums()
+        if cold >= warm * 2.0:  # measured ~3.0x locally
+            return
+    raise AssertionError(
+        f"warm start no longer beats cold by 2x: {warm:.4f}s warm vs "
+        f"{cold:.4f}s cold ({cold / warm:.2f}x)")
+
+
+def test_disabled_persistence_overhead_under_two_percent():
+    """Zero-cost-when-off guard for the persistent tier: with
+    ``cache_dir=None`` (the default) the integration is one falsy config
+    check at construction and one ``persistent is None`` check after the
+    loop — no import of the serve package, no disk I/O.  Measured against
+    the same run with the two seams stubbed out entirely, the overhead
+    must stay under 2%."""
+    import time as _time
+
+    from repro.core.hanoi import HanoiInference
+    from repro.experiments.runner import quick_config, run_module
+
+    definition = get_benchmark("/coq/unique-list-::-set")
+    config = quick_config()
+    assert config.cache_dir is None
+    run_module(definition, mode="hanoi", config=config)  # warm up
+
+    stubbed_persist = lambda self: None  # noqa: E731
+
+    def with_seams():
+        result = run_module(definition, mode="hanoi", config=config)
+        assert result.stats.disk_cache_hits == 0
+        assert result.stats.disk_cache_misses == 0
+
+    def without_seams(_real=HanoiInference._persist_caches):
+        HanoiInference._persist_caches = stubbed_persist
+        try:
+            run_module(definition, mode="hanoi", config=config)
+        finally:
+            HanoiInference._persist_caches = _real
+
+    def paired_minimums(repeats=5):
+        best_on = best_off = float("inf")
+        for _ in range(repeats):
+            start = _time.perf_counter()
+            with_seams()
+            best_on = min(best_on, _time.perf_counter() - start)
+            start = _time.perf_counter()
+            without_seams()
+            best_off = min(best_off, _time.perf_counter() - start)
+        return best_on, best_off
+
+    for _ in range(3):
+        on, off = paired_minimums()
+        if on <= off * 1.02:
+            return
+    raise AssertionError(
+        f"disabled persistence costs {(on / off - 1):.1%} (> 2%) per run: "
+        f"{on:.4f}s with the seams vs {off:.4f}s without")

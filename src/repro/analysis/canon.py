@@ -64,6 +64,7 @@ from ..lang.pretty import pretty_type, pretty_type_decl
 from ..lang.program import Program
 from ..lang.typecheck import TypeChecker
 from ..lang.types import Type, arrow
+from .callgraph import build_call_graph
 from .matches import unreachable_branches
 
 __all__ = [
@@ -72,9 +73,16 @@ __all__ = [
     "canonical_declarations",
     "canonical_hash",
     "canonicalize_definition",
+    "declaration_dependency_hashes",
     "is_pure",
     "render_fun_decl",
+    "PRELUDE_HASH",
 ]
+
+#: Content hash of the prelude every module extends.  Folded into every
+#: per-declaration dependency hash: a prelude change invalidates every
+#: persisted cache entry, exactly as it should.
+PRELUDE_HASH = hashlib.sha256(PRELUDE_SOURCE.encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -463,6 +471,46 @@ def canonical_hash(definition: ModuleDefinition,
     parts.append("helpers " + " ".join(definition.helper_functions))
     payload = "\n".join(parts)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def declaration_dependency_hashes(definition: ModuleDefinition,
+                                  program: Optional[Program] = None,
+                                  decls: Optional[List[object]] = None
+                                  ) -> Dict[str, str]:
+    """Per-declaration content keys: ``name -> sha256`` for every module
+    function declaration, hashing the declaration's alpha-normalized
+    canonical form together with everything its behaviour depends on - its
+    transitive callees among the module declarations, the module's type
+    declarations, and the prelude (:data:`PRELUDE_HASH`).
+
+    This is the invalidation unit of the persistent cache tier
+    (:mod:`repro.serve.diskcache`): editing one operation changes only the
+    keys of the declarations that (transitively) call it, so everything
+    else warm-starts across processes.  Renamed locals, dead branches, and
+    foldable constants do not change any key (same canonical form as
+    :func:`canonical_hash`).
+    """
+    canonical = canonical_declarations(definition, program, decls)
+    fun_decls = {d.name: d for d in canonical if isinstance(d, FunDecl)}
+    type_parts = [_render_decl(d) for d in canonical if isinstance(d, TypeDecl)]
+    rendered = {name: render_fun_decl(alpha_rename_decl(d, _hash_names()))
+                for name, d in fun_decls.items()}
+    graph = build_call_graph(list(fun_decls.values()))
+
+    hashes: Dict[str, str] = {}
+    for name in fun_decls:
+        closure = {name}
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for callee in graph.get(current, frozenset()):
+                if callee not in closure:
+                    closure.add(callee)
+                    frontier.append(callee)
+        parts = [PRELUDE_HASH, *type_parts,
+                 *(rendered[n] for n in sorted(closure))]
+        hashes[name] = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    return hashes
 
 
 def canonicalize_definition(definition: ModuleDefinition) -> ModuleDefinition:

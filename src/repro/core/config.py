@@ -173,6 +173,13 @@ class HanoiConfig:
     #: ``ladder`` (abstract proofs first, enumeration for the rest).
     #: See docs/verification.md.
     verifier_backend: str = "enumerative"
+    #: Root directory of the persistent content-addressed cache tier
+    #: (docs/service.md).  ``None`` (the default) disables persistence
+    #: entirely: no disk I/O, no content hashing beyond what tracing already
+    #: does.  When set, the eval-cache and pool-cache are restored from and
+    #: snapshotted to ``cache_dir`` keyed by per-declaration dependency
+    #: hashes, so unchanged operations replay across processes.
+    cache_dir: Optional[str] = None
 
     def deadline(self) -> Deadline:
         return Deadline(self.timeout_seconds)
@@ -180,6 +187,15 @@ class HanoiConfig:
     def with_verifier_backend(self, name: str) -> "HanoiConfig":
         """Select a verifier backend (CLI ``--verifier``)."""
         return replace(self, verifier_backend=name)
+
+    def with_cache_dir(self, path: Optional[str]) -> "HanoiConfig":
+        """Enable the persistent cache tier rooted at ``path``
+        (CLI ``--cache-dir``)."""
+        return replace(self, cache_dir=path)
+
+    def without_persistent_caching(self) -> "HanoiConfig":
+        """The persistence ablation: in-memory caches only."""
+        return replace(self, cache_dir=None)
 
     def without_synthesis_result_caching(self) -> "HanoiConfig":
         """The Hanoi-SRC ablation configuration."""

@@ -135,6 +135,29 @@ class HanoiInference:
             SynthesisEvaluationCache(content_key=content_key)
             if self.config.synthesis_evaluation_caching else None
         )
+        # Persistent cache tier (docs/service.md): warm the freshly created
+        # caches from the content-addressed disk store before the loop
+        # starts.  Strictly best-effort - any failure here or at write-back
+        # downgrades to a cold start, never changes an outcome, and is
+        # surfaced as a ``disk-cache-warning`` event.  ``cache_dir=None``
+        # (the default) skips even the import, so runs without persistence
+        # pay nothing.
+        self.persistent = None
+        if self.config.cache_dir and (self.eval_cache is not None
+                                      or self.pool_cache is not None):
+            try:
+                from ..serve.diskcache import DiskCacheStore, PersistentCacheBinding
+
+                store = DiskCacheStore(self.config.cache_dir,
+                                       warn=self._disk_cache_warning)
+                self.persistent = PersistentCacheBinding(
+                    store, self.definition, self.instance, self.config)
+                self.persistent.restore(self.eval_cache, self.pool_cache,
+                                        self.stats)
+            except Exception as error:
+                self.persistent = None
+                self._disk_cache_warning("persistent cache disabled for this run",
+                                         {"error": repr(error)})
         factory = synthesizer_factory or MythSynthesizer
         self.synthesizer = factory(
             self.instance,
@@ -163,17 +186,35 @@ class HanoiInference:
         """Run the CEGIS loop of Figure 4 and return the outcome."""
         emitter = self.emitter
         if not emitter.enabled:
-            return self._infer()
+            result = self._infer()
+            self._persist_caches()
+            return result
         with emitter.span("run", {"benchmark": self.definition.name,
                                   "mode": self.mode_name}, cat="run"):
             emitter.emit("run-start", {"benchmark": self.definition.name,
                                        "mode": self.mode_name}, cat="run")
             result = self._infer()
+            self._persist_caches()
             self._emit_cache_snapshot()
             emitter.emit("run-end", {"status": result.status,
                                      "iterations": result.iterations,
                                      "stats": self.stats.counters()}, cat="run")
         return result
+
+    def _persist_caches(self) -> None:
+        """Write the run's cache state back to the persistent tier."""
+        if self.persistent is None:
+            return
+        try:
+            self.persistent.persist(self.eval_cache, self.pool_cache)
+        except Exception as error:
+            self._disk_cache_warning("persistent cache write failed",
+                                     {"error": repr(error)})
+
+    def _disk_cache_warning(self, message: str, detail: dict) -> None:
+        data: dict = {"message": message}
+        data.update(detail)
+        self.emitter.emit("disk-cache-warning", data, legacy=True)
 
     def _emit_cache_snapshot(self) -> None:
         """Final cache occupancy, for the analyzer's growth reporting."""

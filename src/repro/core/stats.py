@@ -69,6 +69,13 @@ class InferenceStats:
     #: Obligations the static tier could not decide (fell through to
     #: bounded enumeration).
     static_unknowns: int = 0
+    #: Persistent cache sections restored from disk at run start (one per
+    #: spec stream / operation memo / component memo found under the run's
+    #: content keys; 0 when persistence is disabled).
+    disk_cache_hits: int = 0
+    #: Persistent cache sections looked up but absent, stale, or corrupt
+    #: (each one is written back at run end, seeding a future hit).
+    disk_cache_misses: int = 0
     started_at: float = field(default_factory=time.perf_counter)
     finished_at: Optional[float] = None
 
@@ -145,6 +152,8 @@ class InferenceStats:
             "static_proofs": self.static_proofs,
             "static_refutations": self.static_refutations,
             "static_unknowns": self.static_unknowns,
+            "disk_cache_hits": self.disk_cache_hits,
+            "disk_cache_misses": self.disk_cache_misses,
         }
 
     # -- serialization ----------------------------------------------------------
@@ -169,6 +178,8 @@ class InferenceStats:
         "static_proofs",
         "static_refutations",
         "static_unknowns",
+        "disk_cache_hits",
+        "disk_cache_misses",
     )
 
     #: The deterministic subset of :data:`COUNTER_FIELDS` - integer counters

@@ -33,7 +33,7 @@ import time
 from collections import deque
 from multiprocessing.connection import wait as connection_wait
 from queue import Empty
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.result import InferenceResult, Status
 from ..core.stats import InferenceStats
@@ -41,7 +41,8 @@ from ..obs.events import SCHEMA_VERSION
 from ..obs.sinks import QueueSink, install_sink, installed_sinks, reset_sinks
 from .runner import ExperimentTask, execute_task, quick_config
 
-__all__ = ["ParallelRunner", "DEFAULT_TIMEOUT_GRACE", "DEFAULT_HEARTBEAT_INTERVAL"]
+__all__ = ["ParallelRunner", "WorkerHandle", "DEFAULT_TIMEOUT_GRACE",
+           "DEFAULT_HEARTBEAT_INTERVAL"]
 
 #: Seconds granted beyond a task's cooperative timeout before the parent kills
 #: the worker: the cooperative deadline should fire first, the pool-level kill
@@ -136,6 +137,78 @@ def _default_context():
         return multiprocessing.get_context()
 
 
+class WorkerHandle:
+    """One spawned worker process executing a single :class:`ExperimentTask`.
+
+    Owns the process, the result pipe, and the start timestamp, and
+    centralizes the delicate lifecycle steps every pool needs - last-chance
+    payload polling, termination, reaping.  Shared by the sweep-level
+    :class:`ParallelRunner` and the service's job scheduler
+    (:mod:`repro.serve.jobs`), so both enforce timeouts and detect dead
+    workers with identical semantics.
+    """
+
+    def __init__(self, process, conn, started: float) -> None:
+        self.process = process
+        self.conn = conn
+        self.started = started
+
+    @classmethod
+    def spawn(cls, ctx, task: ExperimentTask, events=None,
+              heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+              ) -> "WorkerHandle":
+        """Start a worker for ``task`` under the multiprocessing context."""
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker,
+            args=(task, child_conn, events, heartbeat_interval),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        return cls(process, parent_conn, time.monotonic())
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    @property
+    def exitcode(self):
+        return self.process.exitcode
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def poll_payload(self) -> Optional[dict]:
+        """The worker's result payload if one is buffered, else ``None``.
+
+        Also called right before fabricating a timeout/failure payload: a
+        worker may deliver its real result (and even exit) between poll
+        ticks, and that result must win over a fabricated one.  EOF (the
+        pipe closed with nothing buffered - e.g. right after a terminate)
+        counts as no payload.
+        """
+        if not self.conn.poll():
+            return None
+        try:
+            return self.conn.recv()
+        except EOFError:
+            return None
+
+    def terminate(self) -> None:
+        self.process.terminate()
+
+    def reap(self) -> None:
+        """Close the pipe and join the process, escalating to kill."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn worker
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+
 class ParallelRunner:
     """Fan ``(benchmark, mode)`` tasks out over a pool of worker processes.
 
@@ -196,7 +269,7 @@ class ParallelRunner:
         tasks = list(tasks)
         results: List[Optional[InferenceResult]] = [None] * len(tasks)
         queue = deque(enumerate(tasks))
-        live: Dict[int, Tuple[object, object, float]] = {}
+        live: Dict[int, WorkerHandle] = {}
         stream = (self.stream_events if self.stream_events is not None
                   else bool(installed_sinks()))
         events = self._ctx.Queue() if stream else None
@@ -214,71 +287,51 @@ class ParallelRunner:
             while queue or live:
                 while queue and len(live) < self.jobs:
                     index, task = queue.popleft()
-                    parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-                    process = self._ctx.Process(
-                        target=_worker,
-                        args=(task, child_conn, events, self.heartbeat_interval),
-                        daemon=True)
-                    process.start()
-                    child_conn.close()
-                    live[index] = (process, parent_conn, time.monotonic())
+                    live[index] = WorkerHandle.spawn(
+                        self._ctx, task, events, self.heartbeat_interval)
 
                 # Sleep until some worker has output ready (or a short poll
                 # tick passes, so timeout enforcement stays responsive).
-                connection_wait([conn for _, conn, _ in live.values()],
+                connection_wait([handle.conn for handle in live.values()],
                                 timeout=self.poll_interval)
                 self._drain_events(events, last_event)
 
                 for index in list(live):
-                    process, conn, started = live[index]
+                    handle = live[index]
                     task = tasks[index]
-                    elapsed = time.monotonic() - started
+                    elapsed = handle.elapsed
 
-                    def received_payload():
-                        # Called again before fabricating a timeout/failure
-                        # payload: a worker may deliver its real result (and
-                        # even exit) between our poll ticks, and that result
-                        # must win over a fabricated one.  EOF (the pipe
-                        # closed with nothing buffered - e.g. right after we
-                        # terminated the worker) counts as no payload.
-                        if not conn.poll():
-                            return None
-                        try:
-                            return conn.recv()
-                        except EOFError:
-                            return None
-
-                    payload = received_payload()
+                    payload = handle.poll_payload()
                     if payload is not None:
-                        self._reap(live.pop(index))
+                        live.pop(index).reap()
                         finish(index, payload)
                         continue
 
                     budget = self._budget_for(task)
                     if budget is not None and elapsed > budget:
-                        process.terminate()
-                        payload = received_payload() or _result_payload(
+                        handle.terminate()
+                        payload = handle.poll_payload() or _result_payload(
                             task, Status.TIMEOUT,
                             f"killed by the pool after {elapsed:.1f}s "
                             f"(hard budget {budget:.1f}s)"
                             f"{self._last_event_suffix(last_event, task)}",
                             elapsed)
-                        self._reap(live.pop(index))
+                        live.pop(index).reap()
                         finish(index, payload)
                         continue
 
-                    if not process.is_alive():
-                        payload = received_payload() or _result_payload(
+                    if not handle.is_alive():
+                        payload = handle.poll_payload() or _result_payload(
                             task, Status.FAILURE,
-                            f"worker died with exit code {process.exitcode}"
+                            f"worker died with exit code {handle.exitcode}"
                             f"{self._last_event_suffix(last_event, task)}",
                             elapsed)
-                        self._reap(live.pop(index))
+                        live.pop(index).reap()
                         finish(index, payload)
         finally:
-            for process, conn, _ in live.values():
-                process.terminate()
-                self._reap((process, conn, 0.0))
+            for handle in live.values():
+                handle.terminate()
+                handle.reap()
             # One last drain: records buffered before the workers exited
             # still belong in the parent's sinks.
             self._drain_events(events, last_event)
@@ -323,15 +376,3 @@ class ParallelRunner:
         if record is None:
             return ""
         return f"; last event: {record.get('name')} at t={record.get('ts')}"
-
-    @staticmethod
-    def _reap(entry) -> None:
-        process, conn, _ = entry
-        try:
-            conn.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
-        process.join(timeout=5.0)
-        if process.is_alive():  # pragma: no cover - stubborn worker
-            process.kill()
-            process.join(timeout=5.0)

@@ -24,6 +24,10 @@ term-pool cache (``--no-pool-cache``).  Three properties are checked:
    runs reproduce enumerative outcomes byte-for-byte, and no statically
    PROVEN obligation may admit an enumerated counterexample (see
    docs/verification.md).
+5. **Persistent-cache transparency** (``check_persistence``) - the disk
+   cache tier (:mod:`repro.serve.diskcache`) must replay identically:
+   no-persistence, cold-store, warm-store, and corrupted-store runs all
+   produce the same fingerprint (see docs/service.md).
 
 Mismatches are reported as :class:`DifferentialMismatch` records; the CLI
 hands them to :mod:`repro.gen.shrink` to minimize into reproducers.
@@ -58,6 +62,7 @@ __all__ = [
     "canonicalization_mismatches",
     "verifier_backend_mismatches",
     "verifier_soundness_mismatches",
+    "persistent_cache_mismatches",
     "fuzz_module",
     "fuzz_corpus",
     "compare_stored",
@@ -282,6 +287,79 @@ def verifier_backend_mismatches(definition: ModuleDefinition,
     return mismatches
 
 
+def _corrupt_store(directory: str) -> int:
+    """Flip one mid-payload byte in every disk-cache entry; returns count."""
+    flipped = 0
+    for root, _, files in os.walk(directory):
+        for name in files:
+            if not name.endswith(".bin"):
+                continue
+            path = os.path.join(root, name)
+            with open(path, "r+b") as handle:
+                blob = bytearray(handle.read())
+                if not blob:
+                    continue
+                blob[len(blob) // 2] ^= 0xFF
+                handle.seek(0)
+                handle.write(blob)
+            flipped += 1
+    return flipped
+
+
+def persistent_cache_mismatches(definition: ModuleDefinition,
+                                modes: Sequence[str] = DEFAULT_FUZZ_MODES,
+                                config: Optional[HanoiConfig] = None,
+                                cache_dir: Optional[str] = None,
+                                ) -> List[DifferentialMismatch]:
+    """Cold, warm, and corrupted persistent-store runs vs. no persistence.
+
+    The disk cache tier (:mod:`repro.serve.diskcache`) advertises the same
+    contract as the in-memory caches: identical outcomes, less work - now
+    across *processes*.  Per Hanoi mode this runs the module four ways:
+    without persistence, against an empty store (cold), against the store
+    the cold run just wrote (warm), and against that store with one byte
+    flipped in every entry (corruption tolerance: every entry must be
+    skipped with a warning, never crash or change the outcome).  All four
+    fingerprints must be byte-identical.  Baseline modes never create the
+    caches, so only Hanoi-loop modes are compared.
+    """
+    import shutil
+    import tempfile
+
+    from ..experiments.runner import quick_config, run_module
+
+    base = (config or quick_config()).without_persistent_caching()
+    mismatches: List[DifferentialMismatch] = []
+    for mode in modes:
+        if not mode.startswith("hanoi"):
+            continue
+        owns_dir = cache_dir is None
+        directory = (tempfile.mkdtemp(prefix="repro-fuzz-diskcache-")
+                     if owns_dir else os.path.join(cache_dir, mode.replace("/", "_")))
+        try:
+            persistent = base.with_cache_dir(directory)
+            fingerprints = {
+                "no-persistence": outcome_fingerprint(
+                    run_module(definition, mode=mode, config=base)),
+                "cold-store": outcome_fingerprint(
+                    run_module(definition, mode=mode, config=persistent)),
+                "warm-store": outcome_fingerprint(
+                    run_module(definition, mode=mode, config=persistent)),
+            }
+            _corrupt_store(directory)
+            fingerprints["corrupt-store"] = outcome_fingerprint(
+                run_module(definition, mode=mode, config=persistent))
+            rendered = {_fingerprint_bytes(fp) for fp in fingerprints.values()}
+            if len(rendered) != 1:
+                mismatches.append(DifferentialMismatch(
+                    benchmark=definition.name, mode=mode,
+                    fingerprints=fingerprints, kind="persistent cache"))
+        finally:
+            if owns_dir:
+                shutil.rmtree(directory, ignore_errors=True)
+    return mismatches
+
+
 def _soundness_candidates(instance) -> List[Tuple[str, Predicate]]:
     """Candidate invariants spanning the verdict space.
 
@@ -450,7 +528,8 @@ def fuzz_module(definition: ModuleDefinition,
                 fault: Optional[FaultHook] = None,
                 check_oracle: bool = True,
                 check_canonical: bool = False,
-                check_verifier: bool = False) -> FuzzReport:
+                check_verifier: bool = False,
+                check_persistence: bool = False) -> FuzzReport:
     """Run one module through ``modes`` x cache variants, in process.
 
     With ``check_canonical``, additionally re-run each mode on the
@@ -459,7 +538,10 @@ def fuzz_module(definition: ModuleDefinition,
     Hanoi modes under the ladder backend and cross-check the abstract
     tier's proofs against the bounded tester (see
     :func:`verifier_backend_mismatches` and
-    :func:`verifier_soundness_mismatches`)."""
+    :func:`verifier_soundness_mismatches`).  With ``check_persistence``,
+    re-run the Hanoi modes against a cold, a warm, and a corrupted
+    persistent disk-cache store and require all four outcomes identical
+    (see :func:`persistent_cache_mismatches`)."""
     from ..experiments.runner import quick_config, run_module
 
     base = config or quick_config()
@@ -505,6 +587,10 @@ def fuzz_module(definition: ModuleDefinition,
         report.runs += 2 * sum(1 for m in modes if m.startswith("hanoi"))
         report.mismatches.extend(
             verifier_soundness_mismatches(definition, config=base))
+    if check_persistence:
+        report.mismatches.extend(
+            persistent_cache_mismatches(definition, modes=modes, config=base))
+        report.runs += 4 * sum(1 for m in modes if m.startswith("hanoi"))
     return report
 
 
@@ -515,6 +601,7 @@ def fuzz_corpus(definitions: Sequence[ModuleDefinition],
                 fault: Optional[FaultHook] = None,
                 check_oracle: bool = True,
                 check_verifier: bool = False,
+                check_persistence: bool = False,
                 progress: Optional[Callable[[str, FuzzReport], None]] = None,
                 ) -> FuzzReport:
     """Run a corpus serially through :func:`fuzz_module`, merging reports.
@@ -528,7 +615,8 @@ def fuzz_corpus(definitions: Sequence[ModuleDefinition],
         report = fuzz_module(definition, modes=modes, config=config,
                              require_success=require_success, fault=fault,
                              check_oracle=check_oracle,
-                             check_verifier=check_verifier)
+                             check_verifier=check_verifier,
+                             check_persistence=check_persistence)
         total.merge(report)
         if progress is not None:
             progress(definition.name, report)

@@ -1,0 +1,289 @@
+"""Stdlib-only HTTP/JSON API for the inference service (``repro serve``).
+
+Endpoints (all JSON; see docs/service.md for the full reference):
+
+========================== ============================================
+``GET  /v1/health``        liveness, job counts, disk-cache entry counts
+``POST /v1/jobs``          submit ``{"module": text, "mode": ..., "force": ...}``
+``GET  /v1/jobs``          list jobs (newest last)
+``GET  /v1/jobs/<id>``     one job's lifecycle record
+``GET  /v1/jobs/<id>/result``  the ``InferenceResult.to_dict()`` row (404
+                           until the job is done)
+``GET  /v1/jobs/<id>/events``  long-poll: ``?after=<cursor>&wait=<secs>``
+``GET  /v1/jobs/<id>/stream``  the same records as Server-Sent Events
+========================== ============================================
+
+The daemon is deliberately boring: a ``ThreadingHTTPServer`` over the
+:class:`~repro.serve.jobs.JobScheduler`, one thread per request, no
+dependencies outside the standard library.  The client half of this module
+(:func:`submit_module`, :func:`wait_for_job`, ...) is what ``repro submit``
+and ``repro jobs`` call; it speaks plain ``urllib``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.error import HTTPError
+from urllib.parse import parse_qs, urlparse
+from urllib.request import Request, urlopen
+
+from ..spec.errors import SpecFileError
+from .diskcache import DiskCacheStore
+from .jobs import JobScheduler
+
+__all__ = [
+    "ServiceServer",
+    "make_server",
+    "ServiceError",
+    "submit_module",
+    "fetch_job",
+    "fetch_jobs",
+    "fetch_result",
+    "fetch_events",
+    "fetch_health",
+    "wait_for_job",
+]
+
+#: Cap on a single long-poll's server-side wait, seconds.
+MAX_LONG_POLL_WAIT = 30.0
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The daemon: an HTTP server owning one :class:`JobScheduler`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], scheduler: JobScheduler):
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+
+    def shutdown(self) -> None:  # pragma: no cover - exercised via CLI
+        super().shutdown()
+        self.scheduler.close()
+
+
+def make_server(host: str, port: int, scheduler: JobScheduler) -> ServiceServer:
+    return ServiceServer((host, port), scheduler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the scheduler's event stream is the observable surface
+
+    def _json(self, status: int, payload: object) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._json(status, {"error": message})
+
+    def _job_or_404(self, job_id: str):
+        job = self.server.scheduler.get(job_id)
+        if job is None:
+            self._error(404, f"no such job: {job_id}")
+        return job
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        try:
+            if parts == ["v1", "health"]:
+                return self._health()
+            if parts == ["v1", "jobs"]:
+                return self._json(200, {
+                    "jobs": [job.to_dict()
+                             for job in self.server.scheduler.list()]})
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                job = self._job_or_404(parts[2])
+                if job is not None:
+                    self._json(200, job.to_dict())
+                return
+            if len(parts) == 4 and parts[:2] == ["v1", "jobs"]:
+                job = self._job_or_404(parts[2])
+                if job is None:
+                    return
+                if parts[3] == "result":
+                    if job.result is None:
+                        return self._error(404,
+                                           f"job {job.id} has no result yet "
+                                           f"(state: {job.state})")
+                    return self._json(200, job.result)
+                if parts[3] == "events":
+                    return self._events(job, query)
+                if parts[3] == "stream":
+                    return self._stream(job, query)
+            self._error(404, f"unknown path: {url.path}")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts != ["v1", "jobs"]:
+            return self._error(404, f"unknown path: {url.path}")
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            return self._error(400, "request body must be a JSON object")
+        if not isinstance(payload, dict) or "module" not in payload:
+            return self._error(400, 'missing required field "module"')
+        try:
+            job = self.server.scheduler.submit(
+                str(payload["module"]),
+                mode=str(payload.get("mode", "hanoi")),
+                force=bool(payload.get("force", False)),
+            )
+        except SpecFileError as error:
+            return self._error(400, str(error))
+        self._json(201, job.to_dict())
+
+    # -- route bodies -------------------------------------------------------
+
+    def _health(self) -> None:
+        scheduler = self.server.scheduler
+        jobs = scheduler.list()
+        counts: Dict[str, int] = {}
+        for job in jobs:
+            counts[job.state] = counts.get(job.state, 0) + 1
+        cache_dir = scheduler.config.cache_dir
+        cache = (DiskCacheStore(cache_dir).stats()
+                 if cache_dir else {})
+        self._json(200, {
+            "ok": True,
+            "jobs": counts,
+            "cache_dir": cache_dir,
+            "cache_entries": cache,
+        })
+
+    @staticmethod
+    def _float_param(query: dict, name: str, default: float,
+                     maximum: float) -> float:
+        try:
+            value = float(query.get(name, [default])[0])
+        except (TypeError, ValueError):
+            value = default
+        return max(0.0, min(value, maximum))
+
+    def _events(self, job, query: dict) -> None:
+        after = 0
+        try:
+            after = int(query.get("after", [0])[0])
+        except (TypeError, ValueError):
+            pass
+        wait = self._float_param(query, "wait", 0.0, MAX_LONG_POLL_WAIT)
+        records, cursor, closed = job.events.after(after, wait=wait or None)
+        self._json(200, {"records": records, "next": cursor, "closed": closed})
+
+    def _stream(self, job, query: dict) -> None:
+        """Server-Sent Events: one ``data:`` line per trace record."""
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        cursor = 0
+        try:
+            cursor = int(query.get("after", [0])[0])
+        except (TypeError, ValueError):
+            pass
+        while True:
+            records, cursor, closed = job.events.after(
+                cursor, wait=MAX_LONG_POLL_WAIT)
+            for record in records:
+                data = json.dumps(record, default=str)
+                self.wfile.write(f"data: {data}\n\n".encode("utf-8"))
+            self.wfile.flush()
+            if closed:
+                self.wfile.write(b"event: end\ndata: {}\n\n")
+                return
+
+
+# ---------------------------------------------------------------------------
+# Client (used by ``repro submit`` / ``repro jobs``)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service, with its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _request(url: str, payload: Optional[dict] = None,
+             timeout: float = 60.0) -> dict:
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = Request(url, data=data, headers=headers)
+    try:
+        with urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except HTTPError as error:
+        try:
+            detail = json.loads(error.read().decode("utf-8")).get("error", "")
+        except Exception:
+            detail = ""
+        raise ServiceError(error.code,
+                           detail or f"HTTP {error.code}") from error
+
+
+def submit_module(base_url: str, text: str, mode: str = "hanoi",
+                  force: bool = False) -> dict:
+    return _request(f"{base_url.rstrip('/')}/v1/jobs",
+                    payload={"module": text, "mode": mode, "force": force})
+
+
+def fetch_job(base_url: str, job_id: str) -> dict:
+    return _request(f"{base_url.rstrip('/')}/v1/jobs/{job_id}")
+
+
+def fetch_jobs(base_url: str) -> List[dict]:
+    return _request(f"{base_url.rstrip('/')}/v1/jobs")["jobs"]
+
+
+def fetch_result(base_url: str, job_id: str) -> dict:
+    return _request(f"{base_url.rstrip('/')}/v1/jobs/{job_id}/result")
+
+
+def fetch_events(base_url: str, job_id: str, after: int = 0,
+                 wait: float = 0.0) -> dict:
+    return _request(f"{base_url.rstrip('/')}/v1/jobs/{job_id}/events"
+                    f"?after={after}&wait={wait}",
+                    timeout=max(60.0, wait + 30.0))
+
+
+def fetch_health(base_url: str) -> dict:
+    return _request(f"{base_url.rstrip('/')}/v1/health")
+
+
+def wait_for_job(base_url: str, job_id: str, timeout: Optional[float] = None,
+                 poll_interval: float = 0.5) -> dict:
+    """Poll until the job leaves the queue; returns its final job record."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        job = fetch_job(base_url, job_id)
+        if job["state"] in ("done", "failed"):
+            return job
+        if deadline is not None and time.monotonic() > deadline:
+            raise ServiceError(408, f"timed out waiting for job {job_id} "
+                                    f"(state: {job['state']})")
+        time.sleep(poll_interval)

@@ -45,9 +45,9 @@ so the cache itself stays a pure store.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..lang.values import Value
+from ..lang.values import Value, is_first_order, value_order
 
 __all__ = ["SynthesisEvaluationCache", "ApplicationMemo", "PoolMemo",
            "PoolSnapshot", "CRASHED"]
@@ -61,10 +61,20 @@ class _Crashed:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return "CRASHED"
 
+    def __reduce__(self):
+        # Identity matters: use sites compare ``outcome is CRASHED``, so a
+        # pickled copy must unpickle back to the module singleton.
+        return (_restore_crashed, ())
+
 
 #: The memoized outcome of an application that raised a language-level error
 #: (the uncached enumeration catches the exception and drops the term).
 CRASHED = _Crashed()
+
+
+def _restore_crashed() -> "_Crashed":
+    """Unpickle hook: resolve back to the :data:`CRASHED` singleton."""
+    return CRASHED
 
 
 class ApplicationMemo:
@@ -93,6 +103,48 @@ class ApplicationMemo:
     def put(self, fn: Value, args: Tuple[Value, ...], outcome: object) -> None:
         if len(self._outcomes) < self.max_entries:
             self._outcomes[(fn, args)] = outcome
+
+    def export_outcomes(self, names: Dict[int, str]
+                        ) -> List[Tuple[str, Tuple[Value, ...], object]]:
+        """Picklable ``(global name, args, outcome)`` triples.
+
+        ``names`` maps ``id(fn)`` to the module-global name bound to that
+        function value, so identity-hashed keys can be re-bound to the fresh
+        function objects of another process.  Entries keyed by anything else
+        (the synthesizer's per-call oracle ``VNative``, enumerated function
+        arguments) are skipped - their identities are meaningless outside
+        this run.  Output order is hash-seed-independent.
+        """
+        exported = [
+            (names[id(fn)], args, outcome)
+            for (fn, args), outcome in self._outcomes.items()
+            if id(fn) in names
+            and all(is_first_order(v) for v in args)
+            and (outcome is CRASHED or is_first_order(outcome))
+        ]
+        exported.sort(key=lambda item: (item[0],
+                                        tuple(value_order(v) for v in item[1])))
+        return exported
+
+    def restore_outcomes(self, items: List[Tuple[str, Tuple[Value, ...], object]],
+                         values: Dict[str, Value]) -> int:
+        """Adopt :meth:`export_outcomes` output; returns the number adopted.
+
+        ``values`` maps global names back to this process's function values;
+        triples naming globals the module no longer defines are dropped.
+        """
+        adopted = 0
+        for name, args, outcome in items:
+            fn = values.get(name)
+            if fn is None:
+                continue
+            if len(self._outcomes) >= self.max_entries:
+                break
+            key = (fn, args)
+            if key not in self._outcomes:
+                self._outcomes[key] = outcome
+                adopted += 1
+        return adopted
 
 
 @dataclass(frozen=True)

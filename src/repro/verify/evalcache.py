@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..lang.errors import LangError
-from ..lang.values import Value
+from ..lang.values import Value, is_first_order, value_order
 
 __all__ = ["EvaluationCache", "SpecStream", "SpecEntry", "OperationMemo", "OperationRecord"]
 
@@ -76,6 +76,27 @@ class SpecEntry:
         if verdict:
             self.witnesses = None
 
+    def export(self) -> Tuple[object, object, Optional[bool]]:
+        """The entry as a plain ``(assignment, witnesses, verdict)`` tuple.
+
+        Every field is a first-order value tuple or a primitive, so the
+        export pickles and unpickles across processes and hash seeds.  The
+        stored ``error`` of a crashed resolution is deliberately *not*
+        exported (see :meth:`SpecStream.export_entries`).
+        """
+        return (self.assignment, self.witnesses, self.verdict)
+
+    @classmethod
+    def restore(cls, exported: Tuple[object, object, Optional[bool]]) -> "SpecEntry":
+        """Rebuild an entry from :meth:`export` output."""
+        assignment, witnesses, verdict = exported
+        entry = cls.__new__(cls)
+        entry.assignment = assignment
+        entry.witnesses = witnesses
+        entry.verdict = verdict
+        entry.error = None
+        return entry
+
 
 class SpecStream:
     """The sufficiency enumeration of one run, materialized at most once.
@@ -92,6 +113,47 @@ class SpecStream:
         self.entries: List[SpecEntry] = []
         self.iterator: Optional[Iterator[Tuple[Value, ...]]] = None
         self.exhausted = False
+
+    def export_entries(self) -> Tuple[List[Tuple[object, object, Optional[bool]]], bool]:
+        """A picklable ``(entries, exhausted)`` snapshot of the stream.
+
+        Entries are exported in enumeration order up to (but excluding) the
+        first entry that cannot round-trip: an error-bearing resolution
+        (language errors carry positional constructors that do not all
+        survive pickling, and a resolved entry has already dropped the
+        assignment needed to re-derive its error lazily) or an assignment
+        containing function values (identity-hashed, meaningless in another
+        process).  Truncating is always safe - a warm run re-enumerates the
+        suffix from the suspended iterator exactly as a cold run would - and
+        a truncated snapshot is never marked exhausted.
+        """
+        exported: List[Tuple[object, object, Optional[bool]]] = []
+        for entry in self.entries:
+            if entry.error is not None:
+                return exported, False
+            if entry.assignment is not None and \
+                    not all(is_first_order(v) for v in entry.assignment):
+                return exported, False
+            if entry.witnesses is not None and \
+                    not all(is_first_order(v) for v in entry.witnesses):
+                return exported, False
+            exported.append(entry.export())
+        return exported, self.exhausted
+
+    def restore_entries(self,
+                        exported: List[Tuple[object, object, Optional[bool]]],
+                        exhausted: bool) -> None:
+        """Adopt an :meth:`export_entries` snapshot into an empty stream.
+
+        Only valid before the stream has been touched (fresh per-run cache):
+        restored entries must occupy the positions the enumeration would
+        assign them, so the verifier's resume logic can fast-forward the
+        suspended iterator past ``len(entries)`` assignments.
+        """
+        if self.entries or self.iterator is not None:
+            raise ValueError("SpecStream.restore_entries on a non-empty stream")
+        self.entries = [SpecEntry.restore(item) for item in exported]
+        self.exhausted = bool(exhausted)
 
 
 @dataclass(frozen=True)
@@ -137,6 +199,35 @@ class OperationMemo:
             record: OperationRecord) -> None:
         if len(self._records) < self.max_entries:
             self._records[(operation, assignment)] = record
+
+    def export_records(self) -> List[Tuple[Tuple[str, Tuple[Value, ...]], OperationRecord]]:
+        """Picklable ``(key, record)`` pairs in a hash-seed-independent order.
+
+        Entries whose assignment contains function values are skipped: those
+        hash by identity, so a pickled copy in a fresh process would never be
+        looked up again.  First-order assignments and records (values are
+        frozen ``VCtor``/``VTuple`` trees) round-trip exactly.
+        """
+        exported = [
+            (key, record) for key, record in self._records.items()
+            if all(is_first_order(v) for v in key[1])
+        ]
+        exported.sort(key=lambda item: (item[0][0],
+                                        tuple(value_order(v) for v in item[0][1])))
+        return exported
+
+    def restore_records(self,
+                        items: List[Tuple[Tuple[str, Tuple[Value, ...]],
+                                          OperationRecord]]) -> int:
+        """Adopt :meth:`export_records` output; returns the number adopted."""
+        adopted = 0
+        for key, record in items:
+            if len(self._records) >= self.max_entries:
+                break
+            if key not in self._records:
+                self._records[key] = record
+                adopted += 1
+        return adopted
 
 
 class EvaluationCache:

@@ -195,6 +195,14 @@ class Verifier:
         if stream.iterator is None:
             pools = [self._pool(t, quantifiers) for t in concrete_signature]
             stream.iterator = diagonal_product(pools, self._assignment_budget(quantifiers))
+            # Entries restored from a persistent snapshot (serve/diskcache)
+            # occupy the first positions of this fresh enumeration; fast-
+            # forward past them so the frontier resumes where the snapshot
+            # stopped.  The enumeration is deterministic, so position i of a
+            # fresh iterator is exactly the assignment entry i recorded.  In
+            # a cold run entries is empty here and nothing is skipped.
+            for _ in range(len(stream.entries)):
+                next(stream.iterator, None)
 
         for assignment in stream.iterator:
             scanned += 1

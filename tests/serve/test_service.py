@@ -1,0 +1,204 @@
+"""The inference service: job scheduler, store dedup, and the HTTP API."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.config import FAST_VERIFIER_BOUNDS, HanoiConfig
+from repro.gen.modgen import generate_corpus
+from repro.serve.api import (
+    ServiceError,
+    fetch_events,
+    fetch_health,
+    fetch_job,
+    fetch_jobs,
+    fetch_result,
+    make_server,
+    submit_module,
+    wait_for_job,
+)
+from repro.serve.jobs import SERVICE_PACK_TAG, JobScheduler
+from repro.spec.errors import SpecFileError
+
+CONFIG = HanoiConfig(verifier_bounds=FAST_VERIFIER_BOUNDS, timeout_seconds=60)
+
+
+@pytest.fixture(scope="module")
+def module_text():
+    return generate_corpus(5, 1)[0].text
+
+
+@pytest.fixture()
+def scheduler(tmp_path):
+    scheduler = JobScheduler(str(tmp_path / "state"), config=CONFIG, jobs=2)
+    yield scheduler
+    scheduler.close()
+
+
+def _wait(scheduler, job, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while job.state not in ("done", "failed"):
+        assert time.monotonic() < deadline, f"job stuck in {job.state}"
+        time.sleep(0.05)
+    return job
+
+
+# -- scheduler ----------------------------------------------------------------
+
+
+def test_job_runs_to_completion_with_events(scheduler, module_text):
+    job = scheduler.submit(module_text)
+    _wait(scheduler, job)
+    assert job.state == "done"
+    assert job.result["status"] == "success"
+    assert job.result["pack"] == SERVICE_PACK_TAG
+    assert job.result["variant"] == job.content_key
+    records, cursor, closed = job.events.after(0)
+    assert closed and cursor == len(records) > 0
+    assert any(r.get("name") == "run-end" for r in records)
+
+
+def test_resubmission_answers_from_the_store(scheduler, module_text):
+    first = _wait(scheduler, scheduler.submit(module_text))
+    again = scheduler.submit(module_text)
+    assert again.state == "done"
+    assert again.deduplicated
+    assert again.result == first.result
+    # force=True bypasses the store and actually re-runs.
+    forced = _wait(scheduler, scheduler.submit(module_text, force=True))
+    assert not forced.deduplicated
+    assert forced.result["status"] == first.result["status"]
+
+
+def test_same_name_different_content_is_not_deduplicated(scheduler):
+    modules = generate_corpus(5, 2)
+    first_text = modules[0].text
+    renamed = modules[1].text.replace(
+        f'benchmark "{modules[1].name}"', f'benchmark "{modules[0].name}"', 1)
+    assert renamed != modules[1].text
+
+    first = _wait(scheduler, scheduler.submit(first_text))
+    collided = scheduler.submit(renamed)
+    # Same declared benchmark name, different canonical content: different
+    # variant in the resume key, so the collision runs instead of reusing
+    # the other module's row.
+    assert collided.benchmark == first.benchmark
+    assert collided.content_key != first.content_key
+    assert not collided.deduplicated
+    _wait(scheduler, collided)
+    assert collided.state == "done"
+
+
+def test_submission_validation(scheduler, module_text):
+    with pytest.raises(SpecFileError):
+        scheduler.submit("not a module at (all")
+    with pytest.raises(SpecFileError):
+        scheduler.submit(module_text, mode="no-such-mode")
+    builtin = module_text.replace(
+        module_text.split('benchmark "')[1].split('"')[0],
+        "/coq/unique-list-::-set", 1)
+    with pytest.raises(SpecFileError):
+        scheduler.submit(builtin)
+
+
+def test_close_fails_queued_jobs(tmp_path, module_text):
+    scheduler = JobScheduler(str(tmp_path / "state"), config=CONFIG, jobs=1)
+    jobs = [scheduler.submit(module_text, force=True) for _ in range(4)]
+    scheduler.close()
+    assert all(job.state in ("done", "failed") for job in jobs)
+    assert any(job.state == "failed" for job in jobs)
+
+
+def test_warm_submission_hits_the_persistent_cache(scheduler, module_text):
+    cold = _wait(scheduler, scheduler.submit(module_text))
+    warm = _wait(scheduler, scheduler.submit(module_text, force=True))
+    assert cold.result["stats"]["disk_cache_hits"] == 0
+    assert warm.result["stats"]["disk_cache_hits"] > 0
+    assert warm.result["stats"]["disk_cache_misses"] == 0
+    assert warm.result["invariant"] == cold.result["invariant"]
+
+
+# -- HTTP API -----------------------------------------------------------------
+
+
+@pytest.fixture()
+def service(tmp_path, request):
+    scheduler = JobScheduler(str(tmp_path / "state"), config=CONFIG, jobs=2)
+    server = make_server("127.0.0.1", 0, scheduler)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def test_api_round_trip(service, module_text):
+    job = submit_module(service, module_text)
+    assert job["state"] in ("queued", "running")
+    done = wait_for_job(service, job["id"], timeout=120)
+    assert done["state"] == "done"
+    row = fetch_result(service, job["id"])
+    assert row["status"] == "success"
+    assert row["variant"] == job["content_key"]
+
+    listed = fetch_jobs(service)
+    assert [j["id"] for j in listed] == [job["id"]]
+    assert fetch_job(service, job["id"])["state"] == "done"
+
+    events = fetch_events(service, job["id"])
+    assert events["closed"]
+    assert any(r.get("name") == "run-end" for r in events["records"])
+    # Long-polling past the end returns immediately with nothing new.
+    tail = fetch_events(service, job["id"], after=events["next"], wait=5.0)
+    assert tail["records"] == [] and tail["closed"]
+
+    health = fetch_health(service)
+    assert health["ok"] and health["jobs"] == {"done": 1}
+    assert sum(health["cache_entries"].values()) > 0
+
+
+def test_api_rejects_bad_submissions(service):
+    with pytest.raises(ServiceError) as error:
+        submit_module(service, "not a module at (all")
+    assert error.value.status == 400
+    with pytest.raises(ServiceError) as error:
+        fetch_job(service, "no-such-job")
+    assert error.value.status == 404
+    with pytest.raises(ServiceError) as error:
+        fetch_result(service, "no-such-job")
+    assert error.value.status == 404
+    request = urllib.request.Request(f"{service}/v1/jobs", data=b"{not json",
+                                     headers={"Content-Type": "application/json"})
+    with pytest.raises(urllib.error.HTTPError) as error:
+        urllib.request.urlopen(request)
+    assert error.value.code == 400
+
+
+def test_api_result_404_until_done(service, module_text):
+    job = submit_module(service, module_text)
+    try:
+        fetch_result(service, job["id"])
+    except ServiceError as error:
+        assert error.status == 404
+    wait_for_job(service, job["id"], timeout=120)
+    assert fetch_result(service, job["id"])["status"] == "success"
+
+
+def test_api_sse_stream_ends_with_end_event(service, module_text):
+    job = submit_module(service, module_text)
+    wait_for_job(service, job["id"], timeout=120)
+    with urllib.request.urlopen(
+            f"{service}/v1/jobs/{job['id']}/stream", timeout=60) as response:
+        assert response.headers["Content-Type"] == "text/event-stream"
+        body = response.read().decode("utf-8")
+    frames = [frame for frame in body.split("\n\n") if frame.strip()]
+    assert frames[-1].startswith("event: end")
+    payloads = [json.loads(frame[len("data: "):])
+                for frame in frames[:-1] if frame.startswith("data: ")]
+    assert any(r.get("name") == "run-end" for r in payloads)
